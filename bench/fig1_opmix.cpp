@@ -1,0 +1,27 @@
+// Fig. 1: ratio of integer vs FP32 vs FP64 operations per proxy app, per
+// machine, with a paper-vs-measured comparison of the BDW shares.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "study/figures.hpp"
+#include "study/paper_data.hpp"
+
+int main() {
+  const auto results = fpr::bench::run_full_study(/*freq_sweep=*/false);
+  fpr::bench::header("Fig. 1 - operation mix (INT / FP32 / FP64)", "Fig. 1");
+  fpr::study::fig1_opmix(results).print(std::cout);
+
+  std::cout << "\nPaper-vs-measured FP64 share on BDW "
+               "(from Table IV op counts):\n";
+  for (const auto& k : results.kernels) {
+    const auto* row = fpr::study::paper_row(k.info.abbrev);
+    if (row == nullptr) continue;
+    const double paper_total =
+        row->gop_fp64_bdw + row->gop_fp32_bdw + row->gop_int_bdw;
+    if (paper_total <= 0) continue;
+    const double paper_share = row->gop_fp64_bdw / paper_total * 100.0;
+    const double ours = k.meas.ops_on(false).fp64_share() * 100.0;
+    fpr::bench::compare_line(k.info.abbrev + " FP64 %", paper_share, ours);
+  }
+  return 0;
+}

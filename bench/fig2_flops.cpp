@@ -1,0 +1,33 @@
+// Fig. 2: relative Gflop/s of KNL/KNM over BDW (top plot) and absolute
+// achieved Gflop/s as a percentage of theoretical peak (bottom plot).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "study/figures.hpp"
+#include "study/paper_data.hpp"
+
+int main() {
+  const auto results = fpr::bench::run_full_study(/*freq_sweep=*/false);
+  fpr::bench::header("Fig. 2 (top) - relative Gflop/s vs BDW", "Fig. 2");
+  fpr::study::fig2_relative_flops(results).print(std::cout);
+  fpr::bench::header("Fig. 2 (bottom) - % of theoretical peak", "Fig. 2");
+  fpr::study::fig2_pct_of_peak(results).print(std::cout);
+
+  std::cout << "\nPaper-vs-measured relative Gflop/s (KNL over BDW), "
+               "derived from Table IV:\n";
+  for (const auto& k : results.kernels) {
+    const auto* row = fpr::study::paper_row(k.info.abbrev);
+    if (row == nullptr) continue;
+    const double paper_fp_knl =
+        (row->gop_fp64_knl + row->gop_fp32_knl) / row->t2sol_knl;
+    const double paper_fp_bdw =
+        (row->gop_fp64_bdw + row->gop_fp32_bdw) / row->t2sol_bdw;
+    if (paper_fp_bdw <= 0.1) continue;
+    const double bdw = k.on("BDW").perf.gflops;
+    if (bdw <= 0.0) continue;
+    fpr::bench::compare_line(k.info.abbrev + " KNLrel",
+                             paper_fp_knl / paper_fp_bdw,
+                             k.on("KNL").perf.gflops / bdw);
+  }
+  return 0;
+}

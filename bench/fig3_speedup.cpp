@@ -1,0 +1,31 @@
+// Fig. 3: runtime speedup of KNL/KNM over the dual-socket BDW node.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "study/figures.hpp"
+#include "study/paper_data.hpp"
+
+int main() {
+  const auto results = fpr::bench::run_full_study(/*freq_sweep=*/false);
+  fpr::bench::header("Fig. 3 - time-to-solution speedup vs BDW", "Fig. 3");
+  fpr::study::fig3_speedup(results).print(std::cout);
+
+  std::cout << "\nPaper-vs-measured speedup (KNL over BDW, Table IV):\n";
+  fpr::study::PaperDerived derived;
+  for (const auto& k : results.kernels) {
+    const auto* row = fpr::study::paper_row(k.info.abbrev);
+    if (row == nullptr) continue;
+    fpr::bench::compare_line(
+        k.info.abbrev, derived.speedup_knl_vs_bdw(*row),
+        k.on("BDW").perf.seconds / k.on("KNL").perf.seconds);
+  }
+  std::cout << "\nPaper-vs-measured speedup (KNM over KNL, Table IV):\n";
+  for (const auto& k : results.kernels) {
+    const auto* row = fpr::study::paper_row(k.info.abbrev);
+    if (row == nullptr) continue;
+    fpr::bench::compare_line(
+        k.info.abbrev, derived.knm_vs_knl(*row),
+        k.on("KNL").perf.seconds / k.on("KNM").perf.seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 4: memory/system throughput per proxy app; BabelStream rows give
+// the cache-mode ceilings, the dotted flat-mode Triad lines come from
+// Table I.
+#include <iostream>
+
+#include "arch/machines.hpp"
+#include "bench_util.hpp"
+#include "study/figures.hpp"
+
+int main() {
+  const auto results = fpr::bench::run_full_study(/*freq_sweep=*/false);
+  fpr::bench::header("Fig. 4 - memory throughput [GB/s]", "Fig. 4");
+  fpr::study::fig4_membw(results).print(std::cout);
+
+  std::cout << "\nFlat-mode Triad ceilings (dotted lines in the paper):\n";
+  for (const auto& cpu : fpr::arch::all_machines()) {
+    std::cout << "  " << cpu.short_name << ": DRAM "
+              << cpu.dram_bw_gbs << " GB/s"
+              << (cpu.has_mcdram()
+                      ? ", MCDRAM " + fpr::fmt_double(cpu.mcdram_bw_gbs, 0) +
+                            " GB/s"
+                      : "")
+              << "\n";
+  }
+  const auto* b2 = results.find("BABL2");
+  const auto* b14 = results.find("BABL14");
+  if (b2 != nullptr && b14 != nullptr) {
+    std::cout << "\nCache-mode capture check (paper: 86% KNL / 75% KNM when "
+                 "vectors fit; near-DRAM when not):\n";
+    fpr::bench::compare_line("BABL2 KNL GB/s", 439.0 * 0.86,
+                             b2->on("KNL").perf.mem_throughput_gbs);
+    fpr::bench::compare_line("BABL2 KNM GB/s", 430.0 * 0.75,
+                             b2->on("KNM").perf.mem_throughput_gbs);
+    fpr::bench::compare_line("BABL14 KNL GB/s", 75.0,
+                             b14->on("KNL").perf.mem_throughput_gbs);
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fig. 5: roofline plot data for the Broadwell-EP reference system.
+#include <iostream>
+
+#include "arch/machines.hpp"
+#include "bench_util.hpp"
+#include "model/roofline.hpp"
+#include "study/figures.hpp"
+
+int main() {
+  const auto results = fpr::bench::run_full_study(/*freq_sweep=*/false);
+  fpr::bench::header("Fig. 5 - BDW roofline coordinates", "Fig. 5");
+  const auto bdw = fpr::arch::bdw();
+  std::cout << "Roofs: FP64 peak " << bdw.peak_gflops(fpr::arch::Precision::fp64)
+            << " Gflop/s; Triad BW " << bdw.dram_bw_gbs
+            << " GB/s; ridge at "
+            << fpr::fmt_double(fpr::model::ridge_point(bdw, true), 2)
+            << " flop/byte\n\n";
+  fpr::study::fig5_roofline(results).print(std::cout);
+  std::cout << "\nExpected qualitative picture (paper Sec. IV-D): nearly all "
+               "proxies sit on the memory side of the ridge;\nHPL is the "
+               "compute-side exception; Laghos under-performs its ceiling "
+               "(the paper's noted outlier).\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fig. 6: speedup obtained through increased CPU frequency, relative to
+// the lowest throttle state, for KNL (top), KNM (middle), BDW (bottom).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "study/figures.hpp"
+
+int main() {
+  const auto results = fpr::bench::run_full_study(/*freq_sweep=*/true);
+  for (const char* machine : {"KNL", "KNM", "BDW"}) {
+    fpr::bench::header(std::string("Fig. 6 - frequency scaling on ") +
+                           machine,
+                       "Fig. 6");
+    fpr::study::fig6_freqscale(results, machine).print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape (paper Sec. IV-E): HPL/compute-bound apps "
+               "track the frequency ratio;\nstream/bandwidth apps are flat; "
+               "MACSio scales with frequency (kernel-bound I/O);\nHPCG is "
+               "flat on the Phis (latency-bound).\n";
+  return 0;
+}

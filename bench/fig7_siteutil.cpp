@@ -1,0 +1,30 @@
+// Fig. 7: annual HPC site utilization by scientific domain, plus the
+// Sec. V-B projection: site-wide achievable fraction of peak flop/s when
+// weighting representative proxies by node-hour shares.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "study/domain_util.hpp"
+#include "study/figures.hpp"
+
+int main() {
+  const auto results = fpr::bench::run_full_study(/*freq_sweep=*/false);
+  fpr::bench::header("Fig. 7 - site utilization by domain + projection",
+                     "Fig. 7 / Sec. V-B");
+  fpr::study::fig7_site_utilization(results).print(std::cout);
+
+  std::cout << "\nPaper reference points (Sec. V-B): ANL ~14% and K computer "
+               "~11% of peak when projected over annual node-hours.\n";
+  for (const auto& site : fpr::study::site_utilization()) {
+    if (site.site.rfind("ANL", 0) == 0 ||
+        site.site.rfind("R-CCS", 0) == 0) {
+      const double knl =
+          fpr::study::project_site_pct_peak(site, results, "KNL");
+      const double bdw =
+          fpr::study::project_site_pct_peak(site, results, "BDW");
+      std::cout << "  " << site.site << ": projected " << knl
+                << "% (KNL) / " << bdw << "% (BDW) of peak\n";
+    }
+  }
+  return 0;
+}

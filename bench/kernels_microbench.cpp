@@ -1,0 +1,45 @@
+// google-benchmark microbenchmarks of every instrumented proxy kernel at
+// reduced scale: wall time of the assayed solver region on the host.
+// These are host-performance benchmarks of our re-implementations (the
+// paper-machine numbers come from the model binaries).
+#include <benchmark/benchmark.h>
+
+#include "kernels/kernel.hpp"
+
+namespace {
+
+void run_kernel(benchmark::State& state, const std::string& abbrev,
+                double scale) {
+  const auto kernel = fpr::kernels::make(abbrev);
+  fpr::kernels::RunConfig cfg;
+  cfg.scale = scale;
+  std::uint64_t fp = 0, ints = 0;
+  for (auto _ : state) {
+    const auto m = kernel->run(cfg);
+    fp = m.ops.fp_total();
+    ints = m.ops.int_ops;
+    benchmark::DoNotOptimize(m.checksum);
+    state.SetIterationTime(m.host_seconds);
+  }
+  state.counters["paper_fp_gop"] =
+      static_cast<double>(fp) / 1e9;
+  state.counters["paper_int_gop"] =
+      static_cast<double>(ints) / 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& abbrev : fpr::kernels::all_abbrevs()) {
+    benchmark::RegisterBenchmark(
+        ("proxy/" + abbrev).c_str(),
+        [abbrev](benchmark::State& s) { run_kernel(s, abbrev, 0.2); })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Table I: detailed compute-node hardware information, plus a live
+// demonstration of the Triad measurement path on the host machine.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "kernels/babelstream.hpp"
+#include "study/figures.hpp"
+
+int main() {
+  fpr::bench::header("Table I - compute node hardware", "Table I");
+  fpr::study::table1_hardware().print(std::cout);
+
+  // The paper measures the Triad rows with BabelStream; demonstrate the
+  // same measurement on the host (not one of the paper's machines).
+  fpr::kernels::BabelStream babl(2.0);
+  const double host = babl.host_triad_gbs(1u << 22);
+  std::cout << "\nHost Triad bandwidth (for reference, not a paper machine): "
+            << fpr::fmt_double(host, 1) << " GB/s\n";
+  return 0;
+}

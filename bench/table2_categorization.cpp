@@ -1,0 +1,12 @@
+// Table II: application categorization (domain, compute pattern,
+// original language).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "study/figures.hpp"
+
+int main() {
+  fpr::bench::header("Table II - application categorization", "Table II");
+  fpr::study::table2_categorization().print(std::cout);
+  return 0;
+}

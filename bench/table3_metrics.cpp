@@ -1,0 +1,13 @@
+// Table III: metrics and the method/tool used to collect them — paper
+// tooling vs this reproduction's substitutes.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "study/figures.hpp"
+
+int main() {
+  fpr::bench::header("Table III - metrics and measurement tools",
+                     "Table III");
+  fpr::study::table3_metrics().print(std::cout);
+  return 0;
+}

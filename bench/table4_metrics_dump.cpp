@@ -1,0 +1,29 @@
+// Table IV: application configuration and measured metrics for all three
+// machines, with paper-vs-measured t2sol comparisons.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "study/figures.hpp"
+#include "study/paper_data.hpp"
+
+int main() {
+  const auto results = fpr::bench::run_full_study(/*freq_sweep=*/false);
+  for (const char* machine : {"KNL", "KNM", "BDW"}) {
+    fpr::bench::header(std::string("Table IV - measured metrics on ") +
+                           machine,
+                       "Table IV");
+    fpr::study::table4_metrics(results, machine).print(std::cout);
+    std::cout << "\nPaper-vs-measured kernel time-to-solution [s]:\n";
+    for (const auto& k : results.kernels) {
+      const auto* row = fpr::study::paper_row(k.info.abbrev);
+      if (row == nullptr) continue;
+      const double paper = std::string(machine) == "KNL"   ? row->t2sol_knl
+                           : std::string(machine) == "KNM" ? row->t2sol_knm
+                                                           : row->t2sol_bdw;
+      fpr::bench::compare_line(k.info.abbrev, paper,
+                               k.on(machine).perf.seconds);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

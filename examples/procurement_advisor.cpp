@@ -1,0 +1,74 @@
+// Procurement advisor: the paper's Sec. V-B/V-C scenario. Given a
+// site's domain mix (node-hour shares), project the achievable fraction
+// of peak on each candidate machine and report whether paying for FP64
+// silicon is worth it — the NASA Pleiades-style decision (Sec. V-C).
+//
+//   $ ./procurement_advisor [geo chm phy qcd mat eng mcs bio]
+//     (shares; default: a weather-center-like mix)
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "study/domain_util.hpp"
+#include "study/figures.hpp"
+#include "study/study.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fpr;
+
+  study::SiteUtilization site;
+  site.site = "your-site";
+  if (argc >= 9) {
+    site.geo = std::atof(argv[1]);
+    site.chm = std::atof(argv[2]);
+    site.phy = std::atof(argv[3]);
+    site.qcd = std::atof(argv[4]);
+    site.mat = std::atof(argv[5]);
+    site.eng = std::atof(argv[6]);
+    site.mcs = std::atof(argv[7]);
+    site.bio = std::atof(argv[8]);
+  } else {
+    // Weather-forecasting-heavy center (the paper's JMA example:
+    // memory-bound stencils dominate).
+    site.geo = 0.7;
+    site.phy = 0.2;
+    site.eng = 0.1;
+    std::cout << "(no shares given; using a weather-center-like mix: "
+                 "70% geo, 20% phy, 10% eng)\n\n";
+  }
+
+  std::cout << "Running the proxy suite to characterize the domains...\n";
+  study::StudyConfig cfg;
+  cfg.scale = 0.25;
+  cfg.freq_sweep = false;
+  cfg.trace_refs = 120'000;
+  const auto results = study::run_study(cfg);
+
+  TextTable t({"Machine", "Projected % of peak", "FP64 peak [Gflop/s]",
+               "Effective Gflop/s"});
+  for (const auto& cpu : arch::all_machines()) {
+    const double pct =
+        study::project_site_pct_peak(site, results, cpu.short_name);
+    const double peak = cpu.peak_gflops(arch::Precision::fp64);
+    t.row()
+        .cell(cpu.short_name)
+        .num(pct, 1)
+        .num(peak, 0)
+        .num(peak * pct / 100.0, 0)
+        .done();
+  }
+  t.print(std::cout);
+
+  const double knl =
+      study::project_site_pct_peak(site, results, "KNL");
+  const double knm =
+      study::project_site_pct_peak(site, results, "KNM");
+  std::cout << "\nAdvice: your mix reaches " << fmt_double(knl, 1)
+            << "% of KNL's peak vs " << fmt_double(knm, 1)
+            << "% of KNM's.\n"
+            << "If these are within a few percent, the paper's conclusion "
+               "applies to you:\ndo not pay a premium for FP64-heavy "
+               "silicon — invest in memory bandwidth instead\n(Sec. V-C, "
+               "the NASA Pleiades example).\n";
+  return 0;
+}

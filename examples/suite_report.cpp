@@ -1,0 +1,108 @@
+// Suite report: a command-line driver over the whole library — run any
+// subset of the proxy suite at any scale, print any figure, export CSV.
+// This is the "open-source compilation of our evaluation methodology"
+// the paper promises (contribution 3), as a single tool.
+//
+//   ./suite_report                         # full study, human-readable
+//   ./suite_report --kernels AMG,HPL       # subset
+//   ./suite_report --scale 0.5 --csv       # bigger inputs, CSV output
+//   ./suite_report --figure fig3           # one artifact only
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "study/figures.hpp"
+#include "study/study.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void print(const fpr::TextTable& t, bool csv) {
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+int usage() {
+  std::cerr <<
+      "usage: suite_report [--kernels A,B,...] [--scale S] [--csv]\n"
+      "                    [--figure fig1|fig2|fig3|fig4|fig5|fig6|fig7|"
+      "table4|all]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fpr;
+  study::StudyConfig cfg;
+  cfg.scale = 0.3;
+  bool csv = false;
+  std::string figure = "all";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage());
+      }
+      return argv[++i];
+    };
+    if (arg == "--kernels") {
+      cfg.kernels = split_csv(next());
+    } else if (arg == "--scale") {
+      cfg.scale = std::atof(next());
+      if (cfg.scale <= 0.0) return usage();
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--figure") {
+      figure = next();
+    } else {
+      return usage();
+    }
+  }
+
+  std::cerr << "[suite_report] running "
+            << (cfg.kernels.empty() ? std::string("all 24")
+                                    : std::to_string(cfg.kernels.size()))
+            << " kernels at scale " << cfg.scale << "...\n";
+  const auto results = study::run_study(cfg);
+
+  auto want = [&](const char* name) {
+    return figure == "all" || figure == name;
+  };
+  if (want("fig1")) print(study::fig1_opmix(results), csv);
+  if (want("fig2")) {
+    print(study::fig2_relative_flops(results), csv);
+    print(study::fig2_pct_of_peak(results), csv);
+  }
+  if (want("fig3")) print(study::fig3_speedup(results), csv);
+  if (want("fig4")) print(study::fig4_membw(results), csv);
+  if (want("fig5")) print(study::fig5_roofline(results), csv);
+  if (want("fig6")) {
+    for (const char* m : {"KNL", "KNM", "BDW"}) {
+      print(study::fig6_freqscale(results, m), csv);
+    }
+  }
+  if (want("fig7")) print(study::fig7_site_utilization(results), csv);
+  if (want("table4")) {
+    for (const char* m : {"KNL", "KNM", "BDW"}) {
+      print(study::table4_metrics(results, m), csv);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Cache-line / vector-register aligned array storage. HPC kernels in this
+// repo allocate their fields through AlignedBuffer so that (a) compilers
+// can vectorize without peel loops and (b) the memory-traffic model can
+// assume naturally aligned streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace fpr {
+
+inline constexpr std::size_t kCacheLine = 64;
+inline constexpr std::size_t kVecAlign = 64;  // AVX-512 register width
+
+/// Owning, aligned, fixed-size array of trivially-destructible T.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedBuffer is for POD-like numeric data");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n, T fill = T{}) : size_(n) {
+    if (n == 0) return;
+    void* p = ::operator new[](n * sizeof(T), std::align_val_t{kVecAlign});
+    data_ = static_cast<T*>(p);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = fill;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size_bytes() const { return size_ * sizeof(T); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  [[nodiscard]] std::span<T> span() { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const { return {data_, size_}; }
+
+ private:
+  void release() {
+    if (data_ != nullptr) {
+      ::operator delete[](data_, std::align_val_t{kVecAlign});
+      data_ = nullptr;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fpr

@@ -1,0 +1,82 @@
+// Deterministic, seedable PRNGs (SplitMix64 and xoshiro256**) so every
+// kernel run is reproducible across machines and thread counts. The paper
+// stresses repeatable inputs (Sec. III-A, "Are the results repeatable
+// (randomness/seeds)?"); we fix seeds per kernel and derive per-thread
+// streams with SplitMix64 jumps.
+#pragma once
+
+#include <cstdint>
+
+namespace fpr {
+
+/// SplitMix64: tiny, high-quality 64-bit generator; also used to seed
+/// xoshiro and to derive independent per-thread streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast general-purpose generator for bulk synthetic data.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  constexpr result_type operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Derive a stream seed for worker `tid` from a kernel-level seed.
+constexpr std::uint64_t thread_seed(std::uint64_t base, unsigned tid) {
+  SplitMix64 sm(base ^ (0xa0761d6478bd642full * (tid + 1)));
+  return sm.next();
+}
+
+}  // namespace fpr

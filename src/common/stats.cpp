@@ -1,0 +1,60 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fpr {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+SampleSummary summarize(std::vector<double> samples) {
+  SampleSummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.best = samples.front();
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  RunningStats rs;
+  for (double x : samples) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  // Relative spread of the fastest half, cf. the paper's 3.9% observation.
+  const std::size_t half = std::max<std::size_t>(1, n / 2);
+  const double fastest = samples.front();
+  const double slowest_of_fast_half = samples[half - 1];
+  s.spread_fast_half =
+      fastest > 0.0 ? (slowest_of_fast_half - fastest) / fastest : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) return samples.front();
+  if (p >= 100.0) return samples.back();
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+}  // namespace fpr

@@ -1,0 +1,140 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace fpr {
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const char* suffix = "B";
+  double v = static_cast<double>(bytes);
+  if (bytes >= GiB) {
+    v /= static_cast<double>(GiB);
+    suffix = "GiB";
+  } else if (bytes >= MiB) {
+    v /= static_cast<double>(MiB);
+    suffix = "MiB";
+  } else if (bytes >= KiB) {
+    v /= static_cast<double>(KiB);
+    suffix = "KiB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix);
+  return buf;
+}
+
+std::string format_count(double count) {
+  const char* suffix = "";
+  double v = count;
+  if (count >= kTera) {
+    v /= kTera;
+    suffix = "T";
+  } else if (count >= kGiga) {
+    v /= kGiga;
+    suffix = "G";
+  } else if (count >= kMega) {
+    v /= kMega;
+    suffix = "M";
+  } else if (count >= kKilo) {
+    v /= kKilo;
+    suffix = "k";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable needs at least one column");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable row has wrong number of cells");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::cell(std::string_view text) {
+  cells_.emplace_back(text);
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::num(double value,
+                                                  int precision) {
+  cells_.push_back(fmt_double(value, precision));
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::integer(long long value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+void TextTable::RowBuilder::done() { table_->add_row(std::move(cells_)); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "+" : "+") << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace fpr

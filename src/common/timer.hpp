@@ -1,0 +1,27 @@
+// Minimal monotonic wall-clock timer. All kernel timings in this project
+// are wall time over the assay (solver) region, mirroring the paper's use
+// of MPI_Wtime() around the kernel only.
+#pragma once
+
+#include <chrono>
+
+namespace fpr {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fpr

@@ -1,0 +1,35 @@
+// Unit constants and human-readable formatting for byte / rate / flop
+// quantities used throughout the study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpr {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// Gflop/s value from a flop count and elapsed seconds.
+constexpr double gflops(double flops, double seconds) {
+  return seconds > 0.0 ? flops / seconds / kGiga : 0.0;
+}
+
+/// GB/s (decimal, as used by stream benchmarks and the paper's Table I).
+constexpr double gbs(double bytes, double seconds) {
+  return seconds > 0.0 ? bytes / seconds / kGiga : 0.0;
+}
+
+/// "1.5 GiB"-style rendering of a byte count (binary prefixes).
+std::string format_bytes(std::uint64_t bytes);
+
+/// "12.3 G"-style rendering of a large count (decimal prefixes).
+std::string format_count(double count);
+
+}  // namespace fpr

@@ -1,0 +1,3 @@
+// assay.hpp is header-only; this TU exists to give fpr_counters an archive
+// member and to anchor the vtable-less classes' ODR home.
+#include "counters/assay.hpp"

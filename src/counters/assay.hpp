@@ -1,0 +1,74 @@
+// Assay regions — our rendering of the paper's PseudoCode 1:
+//
+//   #define START_ASSAY {measure time; toggle on [PCM | SDE | VTune]}
+//   #define STOP_ASSAY  {measure time; toggle off ...}
+//
+// The paper injects START/STOP around each benchmark's solver loop so
+// that *only the kernel* is measured, excluding initialization and
+// post-processing. AssayRecorder provides the same: between start() and
+// stop() it accumulates wall time and the delta of the global operation
+// tally. Multiple start/stop intervals accumulate (solver loops).
+#pragma once
+
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "counters/op_tally.hpp"
+#include "counters/registry.hpp"
+
+namespace fpr::counters {
+
+class AssayRecorder {
+ public:
+  /// Begin a measured interval. Must not already be measuring.
+  /// Note: the snapshot sums per-thread tallies; call from the thread
+  /// orchestrating the kernel while worker threads are quiescent.
+  void start() {
+    if (running_) throw std::logic_error("assay already started");
+    running_ = true;
+    begin_ops_ = global_snapshot();
+    timer_.reset();
+  }
+
+  /// End the current interval, folding time and ops into the totals.
+  void stop() {
+    if (!running_) throw std::logic_error("assay not started");
+    seconds_ += timer_.seconds();
+    ops_ += global_snapshot() - begin_ops_;
+    running_ = false;
+    ++intervals_;
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] double seconds() const { return seconds_; }
+  [[nodiscard]] const OpTally& ops() const { return ops_; }
+  [[nodiscard]] unsigned intervals() const { return intervals_; }
+
+  /// Forget everything and return to the initial state.
+  void reset() { *this = AssayRecorder{}; }
+
+ private:
+  bool running_ = false;
+  double seconds_ = 0.0;
+  unsigned intervals_ = 0;
+  OpTally begin_ops_;
+  OpTally ops_;
+  fpr::WallTimer timer_;
+};
+
+/// RAII interval: starts on construction, stops on destruction (also on
+/// exception, so a throwing solver still yields a consistent recorder).
+class ScopedAssay {
+ public:
+  explicit ScopedAssay(AssayRecorder& rec) : rec_(rec) { rec_.start(); }
+  ~ScopedAssay() {
+    if (rec_.running()) rec_.stop();
+  }
+  ScopedAssay(const ScopedAssay&) = delete;
+  ScopedAssay& operator=(const ScopedAssay&) = delete;
+
+ private:
+  AssayRecorder& rec_;
+};
+
+}  // namespace fpr::counters

@@ -1,0 +1,78 @@
+// Operation tally: the unit of measurement of our SDE substitute.
+// Mirrors what the paper extracts from Intel SDE — counts of executed
+// FP64 / FP32 / integer / branch operations — plus load/store byte
+// traffic used by the memory model (the paper gets traffic from PCM).
+#pragma once
+
+#include <cstdint>
+
+namespace fpr::counters {
+
+/// Accumulated operation counts for a region of execution.
+/// All counts are *operations* (not instructions): one 8-lane vector FMA
+/// counts as 16 FP64 operations, matching how the paper derives flop
+/// totals from SDE output.
+struct OpTally {
+  std::uint64_t fp64 = 0;      ///< double-precision FP operations
+  std::uint64_t fp32 = 0;      ///< single-precision FP operations
+  std::uint64_t int_ops = 0;   ///< integer ALU operations
+  std::uint64_t branches = 0;  ///< branch operations
+  std::uint64_t bytes_read = 0;     ///< bytes loaded (architectural)
+  std::uint64_t bytes_written = 0;  ///< bytes stored (architectural)
+
+  constexpr OpTally& operator+=(const OpTally& o) {
+    fp64 += o.fp64;
+    fp32 += o.fp32;
+    int_ops += o.int_ops;
+    branches += o.branches;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+
+  friend constexpr OpTally operator+(OpTally a, const OpTally& b) {
+    a += b;
+    return a;
+  }
+
+  /// Difference (for snapshot deltas). Requires *this >= o componentwise.
+  friend constexpr OpTally operator-(OpTally a, const OpTally& b) {
+    a.fp64 -= b.fp64;
+    a.fp32 -= b.fp32;
+    a.int_ops -= b.int_ops;
+    a.branches -= b.branches;
+    a.bytes_read -= b.bytes_read;
+    a.bytes_written -= b.bytes_written;
+    return a;
+  }
+
+  friend constexpr bool operator==(const OpTally&, const OpTally&) = default;
+
+  /// Total FP operations (both precisions).
+  [[nodiscard]] constexpr std::uint64_t fp_total() const {
+    return fp64 + fp32;
+  }
+
+  /// Total counted "operations" in the sense of the paper's Fig. 1
+  /// (FP64 + FP32 + INT; branches are reported separately as Gbra/s).
+  [[nodiscard]] constexpr std::uint64_t classified_total() const {
+    return fp64 + fp32 + int_ops;
+  }
+
+  /// Fraction helpers for the Fig. 1 stacked bars. Return 0 on empty.
+  [[nodiscard]] constexpr double fp64_share() const {
+    const auto t = classified_total();
+    return t != 0 ? static_cast<double>(fp64) / static_cast<double>(t) : 0.0;
+  }
+  [[nodiscard]] constexpr double fp32_share() const {
+    const auto t = classified_total();
+    return t != 0 ? static_cast<double>(fp32) / static_cast<double>(t) : 0.0;
+  }
+  [[nodiscard]] constexpr double int_share() const {
+    const auto t = classified_total();
+    return t != 0 ? static_cast<double>(int_ops) / static_cast<double>(t)
+                  : 0.0;
+  }
+};
+
+}  // namespace fpr::counters

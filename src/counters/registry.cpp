@@ -1,0 +1,63 @@
+#include "counters/registry.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace fpr::counters {
+namespace {
+
+// Registry of live per-thread tallies plus the accumulated counts of
+// threads that have exited. The registry itself is an intentionally
+// leaked singleton so thread destructors may run at any time during
+// process teardown without use-after-free.
+struct Registry {
+  std::mutex mu;
+  std::vector<OpTally*> live;
+  OpTally retired;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked on purpose
+  return *r;
+}
+
+struct ThreadSlot {
+  OpTally tally;
+
+  ThreadSlot() {
+    Registry& r = registry();
+    std::lock_guard lock(r.mu);
+    r.live.push_back(&tally);
+  }
+
+  ~ThreadSlot() {
+    Registry& r = registry();
+    std::lock_guard lock(r.mu);
+    r.retired += tally;
+    std::erase(r.live, &tally);
+  }
+};
+
+}  // namespace
+
+OpTally& local_tally() {
+  thread_local ThreadSlot slot;
+  return slot.tally;
+}
+
+OpTally global_snapshot() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  OpTally sum = r.retired;
+  for (const OpTally* t : r.live) sum += *t;
+  return sum;
+}
+
+void reset_all() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  r.retired = OpTally{};
+  for (OpTally* t : r.live) *t = OpTally{};
+}
+
+}  // namespace fpr::counters

@@ -1,0 +1,45 @@
+// Thread-local tally registry. Each thread that executes instrumented
+// kernel code accumulates into its own OpTally (no atomics on the hot
+// path); the registry can snapshot the sum across all threads, which is
+// how assay regions compute their deltas.
+#pragma once
+
+#include <cstdint>
+
+#include "counters/op_tally.hpp"
+
+namespace fpr::counters {
+
+/// The calling thread's tally. Cheap (thread_local); hot kernel loops
+/// should hoist the reference out of the loop.
+OpTally& local_tally();
+
+/// Sum of all per-thread tallies ever registered in this process
+/// (including threads that have exited).
+OpTally global_snapshot();
+
+/// Reset every live thread's tally and the retired-thread accumulator to
+/// zero. Only call while no instrumented kernel is running.
+void reset_all();
+
+// -- Inline counting helpers (the instrumentation API kernels use) -------
+
+inline void add_fp64(std::uint64_t n) { local_tally().fp64 += n; }
+inline void add_fp32(std::uint64_t n) { local_tally().fp32 += n; }
+inline void add_int(std::uint64_t n) { local_tally().int_ops += n; }
+inline void add_branch(std::uint64_t n) { local_tally().branches += n; }
+inline void add_read_bytes(std::uint64_t n) { local_tally().bytes_read += n; }
+inline void add_write_bytes(std::uint64_t n) {
+  local_tally().bytes_written += n;
+}
+
+/// Count a canonical "stream" loop touching n elements of size elem:
+/// r reads + w writes per element plus the given FP ops per element.
+inline void add_streamed(std::uint64_t n, std::uint64_t elem_bytes,
+                         std::uint64_t reads_per, std::uint64_t writes_per) {
+  OpTally& t = local_tally();
+  t.bytes_read += n * elem_bytes * reads_per;
+  t.bytes_written += n * elem_bytes * writes_per;
+}
+
+}  // namespace fpr::counters

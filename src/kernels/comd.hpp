@@ -1,0 +1,22 @@
+// CoMD: classical molecular-dynamics proxy (ExMatEx, Sec. II-B1c).
+// Lennard-Jones inter-atomic potential with cell lists and velocity-
+// Verlet integration; the paper's input computes the potential for
+// 256,000 atoms (strong-scaling example).
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class CoMd final : public KernelBase {
+ public:
+  CoMd();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperAtoms = 256000;
+  static constexpr int kPaperSteps = 100;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,25 @@
+// FrontFlow/blue (FFB): FEM incompressible Navier-Stokes thermo-fluid
+// solver (RIKEN Fiber suite, Sec. II-B2a). Paper input: 3-D cavity flow
+// in a 50x50x50-cube discretization. FFB computes in single precision —
+// it is one of the few FP32-dominant proxies in Fig. 1 — with heavy
+// integer indexing from the FE indirection (Table IV: 1786 Gop INT vs
+// 259 Gop FP32).
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Ffb final : public KernelBase {
+ public:
+  Ffb();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  // 50x50x50 cubes of quadratic elements ~ 101^3 FE nodes.
+  static constexpr std::uint64_t kPaperDim = 101;
+  static constexpr int kPaperSteps = 900;
+};
+
+}  // namespace fpr::kernels

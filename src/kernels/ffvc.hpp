@@ -1,0 +1,23 @@
+// FrontFlow/violet Cartesian (FFVC): finite-volume incompressible flow
+// solver (RIKEN, Sec. II-B2b) — same problem class as FFB but FVM on a
+// Cartesian grid; paper input is 3-D cavity flow in a 144^3 cuboid.
+// FP32-dominant with the heaviest integer load of the suite (Table IV:
+// 20.2 Top INT vs 1.58 Top FP32) from per-face flux index/mask work.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Ffvc final : public KernelBase {
+ public:
+  Ffvc();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperDim = 144;
+  static constexpr int kPaperSteps = 300;
+};
+
+}  // namespace fpr::kernels

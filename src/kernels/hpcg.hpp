@@ -1,0 +1,23 @@
+// HPCG: preconditioned conjugate gradients on a 27-point operator with a
+// symmetric Gauss-Seidel preconditioner — the paper's memory-subsystem
+// reference solver (Sec. II-B3b, global problem 360^3). The dependent
+// forward/backward GS sweeps are what make HPCG memory-*latency* bound on
+// the Phis (paper Sec. IV-C/IV-E), which the traits encode.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Hpcg final : public KernelBase {
+ public:
+  Hpcg();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperDim = 360;
+  static constexpr int kPaperIters = 50;
+};
+
+}  // namespace fpr::kernels

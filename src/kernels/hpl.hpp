@@ -1,0 +1,23 @@
+// High Performance Linpack (HPL): dense Ax=b via blocked right-looking LU
+// with partial pivoting — the paper's compute-intensive reference
+// (Sec. II-B3a, problem size 64,512). Our reduced run factorizes a
+// smaller matrix with the identical algorithm and extrapolates the
+// operation counts with the exact 2/3·n^3 complexity ratio.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Hpl final : public KernelBase {
+ public:
+  Hpl();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  /// The paper's problem size.
+  static constexpr std::uint64_t kPaperN = 64512;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,21 @@
+// Laghos (LAGO): LAGrangian High-Order Solver proxy (Sec. II-B1d) —
+// compressible gas dynamics with an unstructured high-order finite
+// element method; the paper input is a 2-D Sedov blast wave.
+// Re-implemented as a staggered-grid 2-D Lagrangian hydro step with
+// per-zone quadrature loops and indirect corner-node gather/scatter —
+// the irregular, integer-heavy index pattern of MFEM assembly.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Laghos final : public KernelBase {
+ public:
+  Laghos();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+};
+
+}  // namespace fpr::kernels

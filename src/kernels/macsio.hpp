@@ -1,0 +1,22 @@
+// MACSio (MxIO): multi-purpose, application-centric, scalable I/O proxy
+// (Sec. II-B1e). Generates structured mesh dumps and writes them to
+// storage; the paper input writes 433.8 MB total. The interesting
+// finding (Sec. IV-E) is that the write path is CPU-frequency bound
+// (Linux kernel work), which the traits encode via io_write_bytes.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class MacsIo final : public KernelBase {
+ public:
+  MacsIo();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr double kPaperBytes = 433.8e6;
+};
+
+}  // namespace fpr::kernels

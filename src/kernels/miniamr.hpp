@@ -1,0 +1,19 @@
+// MiniAMR (MAMR): adaptive-mesh-refinement proxy (Mantevo, Sec. II-B1f).
+// A 7-point stencil applied over an octree of blocks while a sphere moves
+// diagonally through the domain, triggering refinement and coarsening —
+// the block-management bookkeeping is the integer-heavy part.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class MiniAmr final : public KernelBase {
+ public:
+  MiniAmr();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,22 @@
+// MiniFE (MiFE): implicit finite-element proxy (Mantevo, Sec. II-B1g).
+// Assembles a hex-8 Poisson stiffness matrix into CSR (the scatter-heavy
+// irregular phase) and solves with unpreconditioned CG. Paper input:
+// a 128x128x128 grid.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class MiniFe final : public KernelBase {
+ public:
+  MiniFe();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperDim = 128;
+  static constexpr int kPaperIters = 200;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,20 @@
+// MiniTri (MTri): graph-analytics proxy (Sec. II-B1h) — triangle
+// detection and a largest-clique bound on a sparse symmetric graph
+// (paper input: BCSSTK30 from MatrixMarket). Re-implemented over a
+// deterministic synthetic graph with a BCSSTK30-like degree profile.
+// Pure integer/branch workload (Table IV: zero FP operations).
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class MiniTri final : public KernelBase {
+ public:
+  MiniTri();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+};
+
+}  // namespace fpr::kernels

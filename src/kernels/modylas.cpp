@@ -1,0 +1,255 @@
+#include "kernels/modylas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fpr::kernels {
+
+namespace {
+
+constexpr std::uint64_t kRunCellDim = 5;
+constexpr std::uint64_t kAtomsPerCell = 8;  // water-like density
+constexpr int kRunSteps = 4;
+constexpr double kCell = 1.0;
+
+struct CellData {
+  std::vector<std::uint32_t> atoms;
+  // Multipole moments: monopole (total charge) and dipole.
+  double q = 0.0, dx = 0.0, dy = 0.0, dz = 0.0;
+  double cx = 0.0, cy = 0.0, cz = 0.0;  // cell center
+};
+
+}  // namespace
+
+Modylas::Modylas()
+    : KernelBase(KernelInfo{
+          .name = "MODYLAS",
+          .abbrev = "MDYL",
+          .suite = Suite::riken,
+          .domain = Domain::physics_chemistry,
+          .pattern = ComputePattern::n_body,
+          .language = "Fortran",
+          .paper_input = "wat222: 156,240 atoms over 16^3 cells (FMM)",
+      }) {}
+
+model::WorkloadMeasurement Modylas::run(const RunConfig& cfg) const {
+  const std::uint64_t nc = scaled_dim(kRunCellDim, cfg.scale);
+  const std::uint64_t ncells = nc * nc * nc;
+  const std::uint64_t natoms = ncells * kAtomsPerCell;
+  const double box = static_cast<double>(nc) * kCell;
+  auto& pool = ThreadPool::global();
+  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+
+  std::vector<double> x(natoms), y(natoms), z(natoms), q(natoms);
+  std::vector<double> fx(natoms), fy(natoms), fz(natoms);
+  Xoshiro256 rng(cfg.seed);
+  for (std::uint64_t i = 0; i < natoms; ++i) {
+    x[i] = rng.uniform(0.0, box);
+    y[i] = rng.uniform(0.0, box);
+    z[i] = rng.uniform(0.0, box);
+    q[i] = (i % 3 == 0) ? -0.8 : 0.4;  // water-like charge pattern
+  }
+
+  std::vector<CellData> cells(ncells);
+  auto cell_of = [&](std::uint64_t i) {
+    const auto cx = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(x[i] / kCell), nc - 1);
+    const auto cy = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(y[i] / kCell), nc - 1);
+    const auto cz = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(z[i] / kCell), nc - 1);
+    return cx + nc * (cy + nc * cz);
+  };
+
+  const auto rec = assayed([&] {
+    for (int step = 0; step < kRunSteps; ++step) {
+      // --- P2M: bin atoms and build monopole+dipole per cell.
+      for (auto& c : cells) {
+        c.atoms.clear();
+        c.q = c.dx = c.dy = c.dz = 0.0;
+      }
+      std::uint64_t iops = 0, fp = 0;
+      for (std::uint64_t i = 0; i < natoms; ++i) {
+        cells[cell_of(i)].atoms.push_back(static_cast<std::uint32_t>(i));
+        iops += 14;
+      }
+      for (std::uint64_t c = 0; c < ncells; ++c) {
+        auto& cd = cells[c];
+        cd.cx = (static_cast<double>(c % nc) + 0.5) * kCell;
+        cd.cy = (static_cast<double>((c / nc) % nc) + 0.5) * kCell;
+        cd.cz = (static_cast<double>(c / (nc * nc)) + 0.5) * kCell;
+        for (const std::uint32_t i : cd.atoms) {
+          cd.q += q[i];
+          cd.dx += q[i] * (x[i] - cd.cx);
+          cd.dy += q[i] * (y[i] - cd.cy);
+          cd.dz += q[i] * (z[i] - cd.cz);
+          fp += 10;
+          iops += 4;
+        }
+      }
+      counters::add_fp64(fp);
+      counters::add_int(iops);
+      counters::add_read_bytes(natoms * 32);
+      counters::add_write_bytes(ncells * 56);
+
+      // --- Forces: P2P for the 27-cell neighbourhood, M2P beyond.
+      pool.parallel_for_n(
+          workers, ncells, [&](std::size_t lo, std::size_t hi, unsigned) {
+            std::uint64_t lfp = 0, lio = 0, lbr = 0;
+            for (std::size_t c = lo; c < hi; ++c) {
+              const std::uint64_t ccx = c % nc;
+              const std::uint64_t ccy = (c / nc) % nc;
+              const std::uint64_t ccz = c / (nc * nc);
+              for (const std::uint32_t i : cells[c].atoms) {
+                double afx = 0.0, afy = 0.0, afz = 0.0;
+                for (std::uint64_t oc = 0; oc < ncells; ++oc) {
+                  const std::uint64_t ox = oc % nc;
+                  const std::uint64_t oy = (oc / nc) % nc;
+                  const std::uint64_t oz = oc / (nc * nc);
+                  // FMM well-separateness: direct P2P within 2 cells so
+                  // the multipole expansion only serves r >= 2.5 cells.
+                  const auto adj = [](std::uint64_t a, std::uint64_t b) {
+                    return a > b ? a - b <= 2 : b - a <= 2;
+                  };
+                  lio += 12;
+                  ++lbr;
+                  if (adj(ox, ccx) && adj(oy, ccy) && adj(oz, ccz)) {
+                    // P2P: pairwise Coulomb + LJ inside the near field.
+                    for (const std::uint32_t j : cells[oc].atoms) {
+                      if (j == i) continue;
+                      const double rx = x[i] - x[j];
+                      const double ry = y[i] - y[j];
+                      const double rz = z[i] - z[j];
+                      const double r2 = rx * rx + ry * ry + rz * rz + 0.01;
+                      const double inv_r = 1.0 / std::sqrt(r2);
+                      const double inv3 = inv_r * inv_r * inv_r;
+                      const double coul = q[i] * q[j] * inv3;
+                      const double inv6 = inv3 * inv3;
+                      const double lj = 0.001 * (12.0 * inv6 * inv6 -
+                                                 6.0 * inv6) / r2;
+                      const double s = coul + lj;
+                      afx += s * rx;
+                      afy += s * ry;
+                      afz += s * rz;
+                      lfp += 32;
+                      lio += 6;
+                    }
+                  } else {
+                    // M2P: monopole + dipole of the far cell.
+                    const auto& cd = cells[oc];
+                    const double rx = x[i] - cd.cx;
+                    const double ry = y[i] - cd.cy;
+                    const double rz = z[i] - cd.cz;
+                    const double r2 = rx * rx + ry * ry + rz * rz;
+                    const double inv_r = 1.0 / std::sqrt(r2);
+                    const double inv3 = inv_r * inv_r * inv_r;
+                    const double inv5 = inv3 * inv_r * inv_r;
+                    // F = q_i * (Q r / r^3 + (d - 3(d.r)r/r^2) ... )
+                    const double dr = cd.dx * rx + cd.dy * ry + cd.dz * rz;
+                    afx += q[i] * (cd.q * rx * inv3 +
+                                   (3.0 * dr * rx * inv5 - cd.dx * inv3));
+                    afy += q[i] * (cd.q * ry * inv3 +
+                                   (3.0 * dr * ry * inv5 - cd.dy * inv3));
+                    afz += q[i] * (cd.q * rz * inv3 +
+                                   (3.0 * dr * rz * inv5 - cd.dz * inv3));
+                    lfp += 40;
+                    lio += 8;
+                  }
+                }
+                fx[i] = afx;
+                fy[i] = afy;
+                fz[i] = afz;
+              }
+            }
+            counters::add_fp64(lfp);
+            // Lane-granular vector-int accounting of the cell traversal
+            // and neighbour-list masks (Table IV: MDYL INT ~3.7x FP64).
+            counters::add_int(lio * 12);
+            counters::add_branch(lbr);
+            counters::add_read_bytes(lfp * 3);
+            counters::add_write_bytes(lfp / 4);
+          });
+
+      // Gentle position update between steps, displacement-clamped
+      // because random initial positions can overlap (huge LJ forces).
+      // Skipped after the final force evaluation so the verification
+      // compares forces at the *final* positions.
+      if (step + 1 < kRunSteps) {
+        for (std::uint64_t i = 0; i < natoms; ++i) {
+          auto wrap = [&](double v) {
+            double r = std::fmod(v, box);
+            if (r < 0) r += box;
+            return r;
+          };
+          auto clamped = [](double f) {
+            return std::clamp(1e-5 * f, -0.02, 0.02);
+          };
+          x[i] = wrap(x[i] + clamped(fx[i]));
+          y[i] = wrap(y[i] + clamped(fy[i]));
+          z[i] = wrap(z[i] + clamped(fz[i]));
+        }
+        counters::add_fp64(9 * natoms);
+      }
+    }
+  });
+
+  // Verification: FMM force vs direct summation on a sample of atoms.
+  double max_rel = 0.0;
+  for (std::uint64_t i = 0; i < natoms; i += natoms / 16 + 1) {
+    double dfx = 0.0, dfy = 0.0, dfz = 0.0;
+    for (std::uint64_t j = 0; j < natoms; ++j) {
+      if (j == i) continue;
+      const double rx = x[i] - x[j];
+      const double ry = y[i] - y[j];
+      const double rz = z[i] - z[j];
+      const double r2 = rx * rx + ry * ry + rz * rz + 0.01;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      const double inv3 = inv_r * inv_r * inv_r;
+      const double coul = q[i] * q[j] * inv3;
+      const double inv6 = inv3 * inv3;
+      const double lj = 0.001 * (12.0 * inv6 * inv6 - 6.0 * inv6) / r2;
+      const double s = coul + lj;
+      dfx += s * rx;
+      dfy += s * ry;
+      dfz += s * rz;
+    }
+    const double mag = std::sqrt(dfx * dfx + dfy * dfy + dfz * dfz) + 1e-9;
+    const double err = std::sqrt((dfx - fx[i]) * (dfx - fx[i]) +
+                                 (dfy - fy[i]) * (dfy - fy[i]) +
+                                 (dfz - fz[i]) * (dfz - fz[i]));
+    max_rel = std::max(max_rel, err / mag);
+  }
+  // Note: direct sum differs from FMM by (a) multipole truncation and
+  // (b) LJ being omitted in the far field (negligible at r > 1 cell).
+  require(max_rel < 0.35, "FMM force matches direct sum to expansion order");
+
+  // Anchored on Table IV's 6287 Gop FP64: the original's FMM depth and
+  // expansion order are not derivable from the input description.
+  const double ops_scale =
+      6.287e12 / std::max(1.0, static_cast<double>(rec.ops().fp64));
+  const auto paper_ws =
+      static_cast<std::uint64_t>(kPaperAtoms * 8.0 * 10 * 1.4);
+
+  memsim::AccessPatternSpec access;
+  memsim::GatherPattern gp;
+  gp.table_bytes = static_cast<std::uint64_t>(kPaperAtoms * 8.0 * 10);
+  gp.elem_bytes = 8;
+  gp.sequential_fraction = 0.6;
+  access.components.push_back({gp, 1.0});
+
+  model::KernelTraits traits;
+  traits.vec_eff = 0.225;  // calibrated: Table IV achieved rate
+  traits.int_eff = 0.45;
+  traits.phi_vec_penalty = 1.5;   // Table IV: BDW-vs-KNL efficiency ratio
+  traits.int_lane_inflation = 12.0;  // SDE lane-granular int counting
+  traits.serial_fraction = 0.02;
+  traits.latency_dep_fraction = 0.0;
+
+  return finish_measurement(info(), rec, ops_scale, paper_ws, access, traits,
+                            max_rel);
+}
+
+}  // namespace fpr::kernels

@@ -1,0 +1,25 @@
+// MODYLAS (MDYL): general-purpose molecular dynamics with the fast
+// multipole method for long-range forces (RIKEN, Sec. II-B2c). Paper
+// input: wat222 — 156,240 atoms over a 16^3 cell domain.
+// Re-implemented as charged LJ particles on a cell grid: P2P short-range
+// forces between neighbouring cells plus a monopole/dipole multipole
+// approximation for far cells (the FMM far-field), verified against
+// direct summation.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Modylas final : public KernelBase {
+ public:
+  Modylas();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperAtoms = 156240;
+  static constexpr int kPaperSteps = 100;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,24 @@
+// mVMC (many-variable Variational Monte Carlo, Sec. II-B2d): quantum
+// lattice-model simulation. The computational core is dense linear
+// algebra on the Slater matrix: Metropolis moves evaluate determinant
+// ratios (a dot product against the maintained inverse) and accepted
+// moves apply rank-1 Sherman-Morrison updates (2N^2 flops) — exactly the
+// dense FP64 profile of Table IV (1142 GFP64).
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class MVmc final : public KernelBase {
+ public:
+  MVmc();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperN = 512;      // electrons
+  static constexpr std::uint64_t kPaperSweeps = 4000;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,24 @@
+// Nekbone (NekB): Nek5000 proxy (Sec. II-B1i) — conjugate gradients for
+// the standard Poisson equation discretized by spectral elements. The
+// hot loop is the matrix-free local Laplacian: three small dense tensor
+// contractions (1-D derivative matrices) per element, giving the high
+// FP64:INT ratio of Table IV (410:23).
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Nekbone final : public KernelBase {
+ public:
+  Nekbone();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr int kOrder = 10;  // polynomial order + 1 (nodes/dim)
+  static constexpr std::uint64_t kPaperElems = 9216;
+  static constexpr int kPaperIters = 700;
+};
+
+}  // namespace fpr::kernels

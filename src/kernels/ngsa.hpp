@@ -1,0 +1,22 @@
+// NGSA (Next-Gen Sequencing Analyzer, Sec. II-B2f): genome-analysis
+// mini-app detecting mutations in DNA. Re-implemented as the alignment
+// core: a suffix-array index over a pseudo-genome (the paper uses
+// ngsa-dummy pseudo-genome data), exact-seed lookup by binary search and
+// banded Smith-Waterman extension. Pure integer/branch workload — the
+// paper's canonical ALU-bound (not FPU-bound) proxy, and dramatically
+// slower on Phi's narrow in-order cores (830 s vs 106 s on BDW).
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Ngsa final : public KernelBase {
+ public:
+  Ngsa();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,25 @@
+// NICAM (NICM): nonhydrostatic icosahedral atmospheric model proxy
+// (Sec. II-B2e) — FVM dynamical core on icosahedral grids; the paper
+// runs Jablonowski's baroclinic wave test (gl05rl00z40, 1 simulated
+// day). Re-implemented as a flux-form advection + diffusion + Coriolis
+// dynamical-core step over (columns x 40 levels) with an icosahedral-like
+// 6-neighbour horizontal connectivity table.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Nicam final : public KernelBase {
+ public:
+  Nicam();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperColumns = 10242;  // gl05
+  static constexpr std::uint64_t kPaperLevels = 40;
+  static constexpr int kPaperSteps = 720;  // 1 simulated day
+};
+
+}  // namespace fpr::kernels

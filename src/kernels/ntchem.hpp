@@ -1,0 +1,23 @@
+// NTChem (NTCh): quantum-chemistry kernel (Sec. II-B2g) — the MP2
+// (second-order Moller-Plesset) solver of the NTChem framework, paper
+// test case H2O. The computational core is the AO->MO four-index
+// integral transformation: a chain of dense GEMMs, followed by the MP2
+// pair-energy sum. Verified by computing a sampled subset of transformed
+// integrals directly from the quadruple contraction.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class NtChem final : public KernelBase {
+ public:
+  NtChem();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperBasis = 212;  // H2O aug-cc-pVQZ-ish
+};
+
+}  // namespace fpr::kernels

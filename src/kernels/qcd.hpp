@@ -1,0 +1,23 @@
+// QCD: lattice quantum chromodynamics mini-app (RIKEN, Sec. II-B2h) —
+// solves the lattice QCD problem on a 4-D lattice (Class 2: 32^3 x 32).
+// Re-implemented as the even-odd Wilson-Dirac operator with SU(3) gauge
+// links and a CG solve of D^dag D x = b; the hop-term gather across 8
+// lattice directions is the 4-D stencil of Table II.
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Qcd final : public KernelBase {
+ public:
+  Qcd();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperL = 32;  // 32^3 x 32 lattice
+  static constexpr int kPaperIters = 200;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,136 @@
+// Kernel registry: paper-order list of all proxy/mini-apps and reference
+// benchmarks. Add kernels here as single lines; make_all()/make() stay
+// in sync automatically.
+#include <functional>
+#include <stdexcept>
+
+#include "kernels/kernel.hpp"
+
+// Kernel headers (paper order: ECP, RIKEN, reference).
+#include "kernels/amg.hpp"
+#include "kernels/babelstream.hpp"
+#include "kernels/candle.hpp"
+#include "kernels/comd.hpp"
+#include "kernels/ffb.hpp"
+#include "kernels/ffvc.hpp"
+#include "kernels/hpcg.hpp"
+#include "kernels/hpl.hpp"
+#include "kernels/laghos.hpp"
+#include "kernels/macsio.hpp"
+#include "kernels/miniamr.hpp"
+#include "kernels/minife.hpp"
+#include "kernels/minitri.hpp"
+#include "kernels/modylas.hpp"
+#include "kernels/mvmc.hpp"
+#include "kernels/nekbone.hpp"
+#include "kernels/ngsa.hpp"
+#include "kernels/nicam.hpp"
+#include "kernels/ntchem.hpp"
+#include "kernels/qcd.hpp"
+#include "kernels/sw4lite.hpp"
+#include "kernels/swfft.hpp"
+#include "kernels/xsbench.hpp"
+
+namespace fpr::kernels {
+
+std::string_view to_string(Suite s) {
+  switch (s) {
+    case Suite::ecp: return "ECP";
+    case Suite::riken: return "RIKEN";
+    case Suite::reference: return "Reference";
+  }
+  return "?";
+}
+
+std::string_view to_string(Domain d) {
+  switch (d) {
+    case Domain::physics: return "Physics";
+    case Domain::bioscience: return "Bioscience";
+    case Domain::physics_bioscience: return "Physics and Bioscience";
+    case Domain::physics_chemistry: return "Physics and Chemistry";
+    case Domain::material_science: return "Material Science/Engineering";
+    case Domain::geoscience: return "Geoscience/Earthscience";
+    case Domain::math_cs: return "Math/Computer Science";
+    case Domain::engineering: return "Engineering (Mechanics, CFD)";
+    case Domain::chemistry: return "Chemistry";
+    case Domain::lattice_qcd: return "Lattice QCD";
+    case Domain::reference: return "Reference";
+  }
+  return "?";
+}
+
+std::string_view to_string(ComputePattern p) {
+  switch (p) {
+    case ComputePattern::stencil: return "Stencil";
+    case ComputePattern::dense_matrix: return "Dense matrix";
+    case ComputePattern::sparse_matrix: return "Sparse matrix";
+    case ComputePattern::n_body: return "N-body";
+    case ComputePattern::irregular: return "Irregular";
+    case ComputePattern::fft: return "FFT";
+    case ComputePattern::stream: return "Stream";
+    case ComputePattern::io: return "I/O";
+  }
+  return "?";
+}
+
+namespace {
+
+using Factory = std::function<std::unique_ptr<ProxyKernel>()>;
+
+const std::vector<Factory>& factories() {
+  static const std::vector<Factory> list = {
+      // ECP proxy apps (paper Sec. II-B1, presentation order).
+      [] { return std::make_unique<Amg>(); },
+      [] { return std::make_unique<Candle>(); },
+      [] { return std::make_unique<CoMd>(); },
+      [] { return std::make_unique<Laghos>(); },
+      [] { return std::make_unique<MacsIo>(); },
+      [] { return std::make_unique<MiniAmr>(); },
+      [] { return std::make_unique<MiniFe>(); },
+      [] { return std::make_unique<MiniTri>(); },
+      [] { return std::make_unique<Nekbone>(); },
+      [] { return std::make_unique<Sw4Lite>(); },
+      [] { return std::make_unique<SwFft>(); },
+      [] { return std::make_unique<XsBench>(); },
+      // RIKEN Fiber mini-apps (Sec. II-B2).
+      [] { return std::make_unique<Ffb>(); },
+      [] { return std::make_unique<Ffvc>(); },
+      [] { return std::make_unique<Modylas>(); },
+      [] { return std::make_unique<MVmc>(); },
+      [] { return std::make_unique<Ngsa>(); },
+      [] { return std::make_unique<Nicam>(); },
+      [] { return std::make_unique<NtChem>(); },
+      [] { return std::make_unique<Qcd>(); },
+      // Reference benchmarks (Sec. II-B3).
+      [] { return std::make_unique<Hpl>(); },
+      [] { return std::make_unique<Hpcg>(); },
+      [] { return std::make_unique<BabelStream>(2.0); },
+      [] { return std::make_unique<BabelStream>(14.0); },
+  };
+  return list;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<ProxyKernel>> make_all() {
+  std::vector<std::unique_ptr<ProxyKernel>> out;
+  out.reserve(factories().size());
+  for (const auto& f : factories()) out.push_back(f());
+  return out;
+}
+
+std::unique_ptr<ProxyKernel> make(std::string_view abbrev) {
+  for (const auto& f : factories()) {
+    auto k = f();
+    if (k->info().abbrev == abbrev) return k;
+  }
+  throw std::invalid_argument("unknown kernel: " + std::string(abbrev));
+}
+
+std::vector<std::string> all_abbrevs() {
+  std::vector<std::string> out;
+  for (const auto& f : factories()) out.push_back(f()->info().abbrev);
+  return out;
+}
+
+}  // namespace fpr::kernels

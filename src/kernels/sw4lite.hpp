@@ -1,0 +1,22 @@
+// SW4lite (SW4L): seismic-modelling kernel proxy (Sec. II-B1j) — 4th-
+// order finite differences for the elastic/acoustic wave equation with a
+// single point source in a half-space. Dense radius-2 stencil, almost
+// pure FP64 (Table IV: 146 GFP64 vs 0.76 Gop INT).
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class Sw4Lite final : public KernelBase {
+ public:
+  Sw4Lite();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperDim = 256;
+  static constexpr int kPaperSteps = 400;
+};
+
+}  // namespace fpr::kernels

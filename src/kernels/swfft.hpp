@@ -1,0 +1,24 @@
+// SWFFT (FFT): the 3-D FFT compute kernel of the HACC cosmology code
+// (Sec. II-B1k) — one performance-critical part of HACC's Poisson
+// solver. Paper input: 32 repetitions on a 128^3 grid. Re-implemented
+// as an iterative radix-2 complex FFT applied along each dimension
+// (pencil order), with bit-reversal index work counted as the integer
+// component (Table IV: INT ~3.3x FP64).
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class SwFft final : public KernelBase {
+ public:
+  SwFft();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr std::uint64_t kPaperDim = 128;
+  static constexpr int kPaperReps = 32;
+};
+
+}  // namespace fpr::kernels

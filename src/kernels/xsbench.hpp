@@ -1,0 +1,24 @@
+// XSBench (XSBn): Monte-Carlo neutron-transport cross-section lookup
+// proxy (Sec. II-B1l) for a Hoogenboom-Martin reactor. The kernel is
+// the unionized-energy-grid lookup: binary search + per-nuclide gather +
+// linear interpolation. Latency/gather dominated (paper: 93.7% back-end
+// bound on KNL, L2 hit rate only 22%).
+#pragma once
+
+#include "kernels/kernel_base.hpp"
+
+namespace fpr::kernels {
+
+class XsBench final : public KernelBase {
+ public:
+  XsBench();
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const RunConfig& cfg) const override;
+
+  static constexpr double kPaperLookups = 15e6;
+  static constexpr std::uint64_t kPaperGrid = 11303;  // union grid points
+  static constexpr std::uint64_t kPaperNuclides = 355;
+};
+
+}  // namespace fpr::kernels

@@ -1,0 +1,55 @@
+#include "memsim/bandwidth.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace fpr::memsim {
+
+BandwidthBreakdown effective_bandwidth(const arch::CpuSpec& cpu,
+                                       std::uint64_t working_set_bytes,
+                                       double mcdram_capture,
+                                       const CacheModeParams& params) {
+  BandwidthBreakdown out;
+  out.dram_gbs = cpu.dram_bw_gbs;
+  if (!cpu.has_mcdram()) {
+    out.effective_gbs = cpu.dram_bw_gbs;
+    return out;
+  }
+
+  const double hit_eff = cpu.short_name == "KNM"
+                             ? params.hit_efficiency_knm
+                             : params.hit_efficiency_knl;
+  out.mcdram_gbs = cpu.mcdram_bw_gbs * hit_eff;
+
+  // Capacity guard: a working set beyond the MCDRAM cannot be captured
+  // regardless of what a (scaled) hierarchy simulation suggested.
+  const double cap_bytes = cpu.mcdram_gib * static_cast<double>(GiB);
+  double capture = std::clamp(mcdram_capture, 0.0, 1.0);
+  if (static_cast<double>(working_set_bytes) > cap_bytes) {
+    capture = std::min(capture, cap_bytes /
+                                    static_cast<double>(working_set_bytes));
+  }
+  out.mcdram_fraction = capture;
+
+  // Harmonic blend: time per byte = hit share at MCDRAM speed + miss
+  // share at DRAM speed inflated by the cache-mode miss overhead.
+  const double miss = 1.0 - capture;
+  const double t_per_byte = capture / out.mcdram_gbs +
+                            miss * params.miss_overhead / cpu.dram_bw_gbs;
+  out.effective_gbs = 1.0 / t_per_byte;
+  // Streaming misses still benefit from the memory-side prefetcher: never
+  // model below plain DRAM bandwidth.
+  out.effective_gbs = std::max(out.effective_gbs, cpu.dram_bw_gbs);
+  return out;
+}
+
+double effective_latency_ns(const arch::CpuSpec& cpu, double mcdram_capture) {
+  if (!cpu.has_mcdram()) return cpu.dram_latency_ns;
+  const double c = std::clamp(mcdram_capture, 0.0, 1.0);
+  // Cache-mode miss pays the MCDRAM tag probe plus the DRAM access.
+  return c * cpu.mcdram_latency_ns +
+         (1.0 - c) * (cpu.mcdram_latency_ns * 0.35 + cpu.dram_latency_ns);
+}
+
+}  // namespace fpr::memsim

@@ -1,0 +1,43 @@
+// Bandwidth model: what sustained bandwidth does a kernel see on a given
+// machine? On the Phis the MCDRAM runs in *cache mode* (Table I), so the
+// answer depends on how much of the kernel's traffic the MCDRAM captures
+// — which is exactly what the paper measures with BabelStream at 2 GiB
+// (fits: ~86%/75% of flat-mode bandwidth) and 14 GiB vectors (does not
+// fit: slightly above DRAM throughput due to prefetch).
+#pragma once
+
+#include <cstdint>
+
+#include "arch/cpu_spec.hpp"
+
+namespace fpr::memsim {
+
+struct BandwidthBreakdown {
+  double mcdram_fraction = 0.0;  ///< share of traffic served by MCDRAM
+  double effective_gbs = 0.0;    ///< harmonic-mean sustained bandwidth
+  double mcdram_gbs = 0.0;       ///< component bandwidths used
+  double dram_gbs = 0.0;
+};
+
+/// Overheads of running the MCDRAM as a memory-side cache rather than
+/// flat-mapped memory: every access pays a tag probe and misses incur a
+/// read-for-ownership style double transfer. Calibrated so the model's
+/// BabelStream reproduces the paper's 86% (KNL) / 75% (KNM) capture.
+struct CacheModeParams {
+  double hit_efficiency_knl = 0.86;
+  double hit_efficiency_knm = 0.75;
+  double miss_overhead = 1.9;  ///< DRAM bytes moved per missed byte
+};
+
+/// Effective sustained bandwidth for a working set of the given size with
+/// the given MCDRAM capture fraction (from the hierarchy simulation; pass
+/// 1.0 when the working set fits entirely).
+BandwidthBreakdown effective_bandwidth(const arch::CpuSpec& cpu,
+                                       std::uint64_t working_set_bytes,
+                                       double mcdram_capture,
+                                       const CacheModeParams& params = {});
+
+/// Average memory latency (ns) seen past the on-chip caches.
+double effective_latency_ns(const arch::CpuSpec& cpu, double mcdram_capture);
+
+}  // namespace fpr::memsim

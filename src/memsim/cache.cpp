@@ -1,0 +1,66 @@
+#include "memsim/cache.hpp"
+
+#include <bit>
+
+namespace fpr::memsim {
+
+void CacheConfig::validate() const {
+  if (line_bytes == 0 || !std::has_single_bit(line_bytes)) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  if (size_bytes == 0 || size_bytes % line_bytes != 0) {
+    throw std::invalid_argument("cache size must be a multiple of the line");
+  }
+  if (associativity == 0 || num_lines() % associativity != 0) {
+    throw std::invalid_argument("cache lines must split evenly into ways");
+  }
+  // Any positive set count is allowed (modulo indexing); scaled-down
+  // shared-cache shares are rarely power-of-two capacities.
+}
+
+Cache::Cache(CacheConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+  num_sets_ = cfg_.num_sets();
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg_.line_bytes));
+  ways_.resize(cfg_.num_lines());
+}
+
+bool Cache::access(std::uint64_t addr, bool write) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = line % num_sets_;
+  const std::uint64_t tag = line / num_sets_;
+  Way* base = &ways_[set * cfg_.associativity];
+  ++stamp_;
+
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = stamp_;
+      way.dirty = way.dirty || write;
+      ++stats_.hits;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+
+  ++stats_.misses;
+  if (victim->valid && victim->dirty) ++stats_.writebacks;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  victim->dirty = write;
+  return false;
+}
+
+void Cache::clear() {
+  for (auto& w : ways_) w = Way{};
+  stats_ = CacheStats{};
+  stamp_ = 0;
+}
+
+}  // namespace fpr::memsim

@@ -1,0 +1,72 @@
+// Set-associative, write-back/write-allocate cache with true-LRU
+// replacement. One instance models one level of one core's view of the
+// hierarchy; Hierarchy stacks them (memsim/hierarchy.hpp).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace fpr::memsim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 8;
+
+  [[nodiscard]] std::uint64_t num_lines() const {
+    return size_bytes / line_bytes;
+  }
+  [[nodiscard]] std::uint64_t num_sets() const {
+    return num_lines() / associativity;
+  }
+  void validate() const;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;  ///< dirty lines evicted
+
+  [[nodiscard]] std::uint64_t accesses() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    const auto a = accesses();
+    return a != 0 ? static_cast<double>(hits) / static_cast<double>(a) : 0.0;
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg);
+
+  /// Access one address. Returns true on hit. On miss the line is
+  /// allocated (write-allocate) and the LRU victim evicted.
+  bool access(std::uint64_t addr, bool write);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+  /// Drop all contents and statistics.
+  void clear();
+
+  /// Zero the statistics but keep the cached contents (used to exclude
+  /// the cold-fill phase from measurements).
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< access stamp; smallest = LRU victim
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig cfg_;
+  std::uint64_t num_sets_ = 0;
+  std::uint32_t line_shift_ = 0;
+  std::uint64_t stamp_ = 0;
+  std::vector<Way> ways_;  ///< sets * associativity, row-major by set
+  CacheStats stats_;
+};
+
+}  // namespace fpr::memsim

@@ -1,0 +1,85 @@
+// Multi-level hierarchy simulation: a single core's view of L1 -> L2 ->
+// (LLC | MCDRAM-as-cache) -> DRAM, built from a CpuSpec. Because a full
+// 16 GiB MCDRAM cache cannot be simulated line-by-line in reasonable
+// memory, the hierarchy is *scaled*: capacities and working sets shrink
+// by the same power-of-two factor, which preserves hit rates for the
+// self-similar access patterns we replay (stream, stencil, gather, chase,
+// blocked reuse are all scale-free in the capacity/footprint ratio).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/cpu_spec.hpp"
+#include "memsim/cache.hpp"
+#include "memsim/trace_gen.hpp"
+
+namespace fpr::memsim {
+
+struct LevelResult {
+  std::string name;   ///< "L1", "L2", "LLC", "MCDRAM$"
+  CacheStats stats;
+};
+
+/// Result of replaying a trace through the hierarchy.
+struct HierarchyResult {
+  std::vector<LevelResult> levels;
+  std::uint64_t refs = 0;
+
+  /// Hit rate of the level with the given name (0 if absent).
+  [[nodiscard]] double hit_rate(const std::string& name) const;
+
+  /// Fraction of references served at or above the named level, i.e.
+  /// without going past it toward memory.
+  [[nodiscard]] double served_at_or_above(const std::string& name) const;
+
+  /// Fraction of all references that went all the way to DRAM.
+  [[nodiscard]] double dram_fraction() const;
+};
+
+class Hierarchy {
+ public:
+  /// Build a scaled single-core hierarchy for `cpu`. `scale_shift` halves
+  /// all capacities that many times (default 2^6 = 64x reduction; pass 0
+  /// for exact geometry in unit tests).
+  explicit Hierarchy(const arch::CpuSpec& cpu, unsigned scale_shift = 6);
+
+  /// Replay `refs` references from the generator. Working-set footprints
+  /// in the generator's patterns must be pre-scaled by scaled_bytes().
+  /// The first `warmup` references fill the caches without being
+  /// counted, so the result reflects steady-state hit rates.
+  HierarchyResult replay(TraceGenerator& gen, std::uint64_t refs,
+                         std::uint64_t warmup = 0);
+
+  /// Scale a full-size footprint to the simulated geometry.
+  [[nodiscard]] std::uint64_t scaled_bytes(std::uint64_t full) const {
+    const std::uint64_t s = full >> scale_shift_;
+    return s > 0 ? s : 64;
+  }
+
+  [[nodiscard]] unsigned scale_shift() const { return scale_shift_; }
+  [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
+  [[nodiscard]] const std::string& level_name(std::size_t i) const {
+    return names_[i];
+  }
+
+ private:
+  std::vector<Cache> levels_;
+  std::vector<std::string> names_;
+  unsigned scale_shift_ = 0;
+};
+
+/// Convenience: replay a pattern spec with full-size footprints through a
+/// scaled hierarchy for `cpu`, auto-scaling every pattern footprint.
+HierarchyResult simulate_pattern(const arch::CpuSpec& cpu,
+                                 const AccessPatternSpec& spec,
+                                 std::uint64_t refs = 1u << 20,
+                                 std::uint64_t seed = 0x0fbeef,
+                                 unsigned scale_shift = 6);
+
+/// Scale all footprint fields of a pattern spec by 2^-shift (helper used
+/// by simulate_pattern; exposed for tests).
+AccessPatternSpec scale_spec(const AccessPatternSpec& spec, unsigned shift);
+
+}  // namespace fpr::memsim

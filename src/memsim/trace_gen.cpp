@@ -1,0 +1,218 @@
+#include "memsim/trace_gen.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fpr::memsim {
+
+namespace {
+
+// Distinct base addresses per component so mixtures do not alias.
+constexpr std::uint64_t kComponentSpacing = 1ull << 40;
+
+std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+}  // namespace
+
+struct TraceGenerator::ComponentState {
+  Pattern pattern;
+  std::uint64_t base = 0;
+  Xoshiro256 rng;
+  // Cursor state, interpretation depends on the pattern alternative.
+  std::uint64_t pos = 0;
+  std::uint64_t aux = 0;
+  std::vector<std::uint32_t> chase_order;  // for ChasePattern
+
+  ComponentState(Pattern p, std::uint64_t b, std::uint64_t seed)
+      : pattern(std::move(p)), base(b), rng(seed) {}
+
+  MemRef generate() {
+    return std::visit([this](const auto& pat) { return gen(pat); }, pattern);
+  }
+
+  MemRef gen(const StreamPattern& p) {
+    const std::uint64_t len = std::max<std::uint64_t>(p.bytes_per_array, 64);
+    const int arrays = std::max(1, p.arrays);
+    // Round-robin across arrays at the same element offset, 8B elements.
+    const std::uint64_t elem = pos / arrays;
+    const int array = static_cast<int>(pos % arrays);
+    ++pos;
+    const std::uint64_t offset = (elem * 8) % len;
+    const bool write = array < p.writes_per_iter;
+    return {base + static_cast<std::uint64_t>(array) * align_up(len, 4096) +
+                offset,
+            write};
+  }
+
+  MemRef gen(const StridedPattern& p) {
+    const std::uint64_t fp = std::max<std::uint64_t>(p.footprint_bytes, 512);
+    const std::uint64_t offset = (pos * p.stride_bytes) % fp;
+    ++pos;
+    return {base + offset, false};
+  }
+
+  MemRef gen(const StencilPattern& p) {
+    const std::uint64_t nx = std::max<std::uint64_t>(p.nx, 4);
+    const std::uint64_t ny = std::max<std::uint64_t>(p.ny, 4);
+    const std::uint64_t nz = std::max<std::uint64_t>(p.nz, 4);
+    const std::uint64_t cells = nx * ny * nz;
+    // pos enumerates (cell, neighbour) pairs in sweep order.
+    const int r = std::max(1, p.radius);
+    const std::uint64_t pts =
+        p.full_box ? static_cast<std::uint64_t>((2 * r + 1)) * (2 * r + 1) *
+                         (2 * r + 1)
+                   : static_cast<std::uint64_t>(6 * r + 1);
+    const std::uint64_t cell = (pos / (pts + 1)) % cells;
+    const std::uint64_t k = pos % (pts + 1);
+    ++pos;
+    const std::uint64_t x = cell % nx;
+    const std::uint64_t y = (cell / nx) % ny;
+    const std::uint64_t z = cell / (nx * ny);
+    if (k == pts) {
+      // Write of the destination cell (second grid).
+      const std::uint64_t out =
+          cells * p.elem_bytes + cell * p.elem_bytes;
+      return {base + out, true};
+    }
+    std::int64_t dx = 0, dy = 0, dz = 0;
+    if (p.full_box) {
+      const std::uint64_t side = 2 * static_cast<std::uint64_t>(r) + 1;
+      dx = static_cast<std::int64_t>(k % side) - r;
+      dy = static_cast<std::int64_t>((k / side) % side) - r;
+      dz = static_cast<std::int64_t>(k / (side * side)) - r;
+    } else {
+      // star: center plus +-i along each axis
+      if (k > 0) {
+        const std::uint64_t axis = (k - 1) / (2 * r);
+        const std::int64_t step =
+            static_cast<std::int64_t>((k - 1) % (2 * r)) -
+            static_cast<std::int64_t>(r) +
+            (((k - 1) % (2 * r)) >= static_cast<std::uint64_t>(r) ? 1 : 0);
+        if (axis == 0) dx = step;
+        if (axis == 1) dy = step;
+        if (axis == 2) dz = step;
+      }
+    }
+    auto clampc = [](std::int64_t v, std::uint64_t n) {
+      return static_cast<std::uint64_t>(
+          std::clamp<std::int64_t>(v, 0, static_cast<std::int64_t>(n) - 1));
+    };
+    const std::uint64_t idx =
+        clampc(static_cast<std::int64_t>(x) + dx, nx) +
+        nx * (clampc(static_cast<std::int64_t>(y) + dy, ny) +
+              ny * clampc(static_cast<std::int64_t>(z) + dz, nz));
+    return {base + idx * p.elem_bytes, false};
+  }
+
+  MemRef gen(const GatherPattern& p) {
+    const std::uint64_t table =
+        std::max<std::uint64_t>(p.table_bytes, 512);
+    if (rng.uniform() < p.sequential_fraction) {
+      const std::uint64_t offset = (pos * 8) % table;
+      ++pos;
+      return {base + table + offset, false};  // driver stream, separate range
+    }
+    const std::uint64_t slot = rng.below(table / p.elem_bytes);
+    return {base + slot * p.elem_bytes, false};
+  }
+
+  MemRef gen(const ChasePattern& p) {
+    const std::uint32_t node = std::max<std::uint32_t>(p.node_bytes, 8);
+    const std::uint64_t nodes =
+        std::max<std::uint64_t>(p.footprint_bytes / node, 16);
+    if (chase_order.empty()) {
+      chase_order.resize(nodes);
+      std::iota(chase_order.begin(), chase_order.end(), 0u);
+      // Sattolo shuffle => one full cycle, the canonical chase ring.
+      for (std::uint64_t i = nodes - 1; i > 0; --i) {
+        const std::uint64_t j = rng.below(i);
+        std::swap(chase_order[i], chase_order[j]);
+      }
+    }
+    pos = chase_order[pos % nodes];
+    return {base + static_cast<std::uint64_t>(pos) * node, false};
+  }
+
+  MemRef gen(const BlockedPattern& p) {
+    // Floor at a few cache lines only: scaled-down tiles must stay small
+    // enough to preserve the blocking locality they model.
+    const std::uint64_t tile = std::max<std::uint64_t>(p.tile_bytes, 256);
+    const std::uint64_t matrix =
+        std::max<std::uint64_t>(p.matrix_bytes, tile);
+    // For every streamed line of the matrix, make `tile_reuse` hits into
+    // the current tile; advance the tile base when the stream wraps a tile.
+    const double reuse = std::max(1.0, p.tile_reuse);
+    const auto phase = static_cast<std::uint64_t>(reuse) + 1;
+    const std::uint64_t step = pos % phase;
+    if (step == 0) {
+      // Element-granular stream (8 B) so consecutive stream refs share
+      // cache lines, as a real GEMM panel stream does.
+      const std::uint64_t offset = (aux * 8) % matrix;
+      ++aux;
+      ++pos;
+      return {base + offset, false};  // stream through the matrix
+    }
+    ++pos;
+    const std::uint64_t tile_base = ((aux * 8) / tile) * tile % matrix;
+    const std::uint64_t offset = rng.below(tile / 8) * 8;
+    return {base + (tile_base + offset) % matrix, step == phase - 1};
+  }
+};
+
+TraceGenerator::~TraceGenerator() = default;
+TraceGenerator::TraceGenerator(TraceGenerator&&) noexcept = default;
+TraceGenerator& TraceGenerator::operator=(TraceGenerator&&) noexcept =
+    default;
+
+TraceGenerator::TraceGenerator(const AccessPatternSpec& spec,
+                               std::uint64_t seed)
+    : rng_(seed ^ 0x5851f42d4c957f2dull) {
+  if (spec.components.empty()) {
+    throw std::invalid_argument("AccessPatternSpec has no components");
+  }
+  double total = 0.0;
+  for (const auto& c : spec.components) {
+    if (c.weight <= 0.0) {
+      throw std::invalid_argument("pattern component weight must be > 0");
+    }
+    total += c.weight;
+  }
+  double run = 0.0;
+  std::uint64_t idx = 0;
+  SplitMix64 sm(seed);
+  for (const auto& c : spec.components) {
+    run += c.weight / total;
+    cumulative_.push_back(run);
+    comps_.push_back(std::make_unique<ComponentState>(
+        c.pattern, (idx + 1) * kComponentSpacing, sm.next()));
+    ++idx;
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+MemRef TraceGenerator::next() {
+  const double u = rng_.uniform();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t i = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(comps_.size()) - 1));
+  return comps_[i]->generate();
+}
+
+std::string pattern_name(const Pattern& p) {
+  struct Visitor {
+    std::string operator()(const StreamPattern&) const { return "stream"; }
+    std::string operator()(const StridedPattern&) const { return "strided"; }
+    std::string operator()(const StencilPattern&) const { return "stencil"; }
+    std::string operator()(const GatherPattern&) const { return "gather"; }
+    std::string operator()(const ChasePattern&) const { return "chase"; }
+    std::string operator()(const BlockedPattern&) const { return "blocked"; }
+  };
+  return std::visit(Visitor{}, p);
+}
+
+}  // namespace fpr::memsim

@@ -1,0 +1,39 @@
+// Memory profiling glue: run a kernel's access pattern through the scaled
+// cache-hierarchy simulation for a machine and derive the quantities the
+// execution model and Table IV need (hit rates, off-chip traffic split,
+// effective bandwidth and latency).
+#pragma once
+
+#include "arch/cpu_spec.hpp"
+#include "memsim/bandwidth.hpp"
+#include "memsim/hierarchy.hpp"
+#include "model/workload.hpp"
+
+namespace fpr::model {
+
+struct MemoryProfile {
+  double l2_hit = 0.0;         ///< Table IV "L2h" (L1 misses that hit L2)
+  double llc_hit = 0.0;        ///< Table IV "LLh" (L3 on BDW, MCDRAM$ on Phi)
+  double offchip_fraction = 0.0;  ///< refs going past private caches
+  double offchip_bytes = 0.0;  ///< traffic past L2 (MCDRAM+DRAM on Phi)
+  double dram_bytes = 0.0;     ///< traffic reaching DDR
+  double mcdram_capture = 0.0; ///< share of off-chip refs served by MCDRAM
+  double effective_bw_gbs = 0.0;
+  double latency_ns = 0.0;
+  double dep_refs = 0.0;       ///< serialized (dependent) off-chip refs
+};
+
+/// Divide all footprints of a total-scale pattern spec by `divisor`
+/// (per-core slice under domain decomposition; stencils split along z).
+memsim::AccessPatternSpec per_core_slice(const memsim::AccessPatternSpec& spec,
+                                         double divisor);
+
+/// Profile `w` on `cpu`. `refs` bounds the simulated trace length; the
+/// default shift of 8 (256x capacity reduction) keeps footprint/refs
+/// ratios small enough that steady-state hit rates dominate cold misses.
+MemoryProfile profile_memory(const arch::CpuSpec& cpu,
+                             const WorkloadMeasurement& w,
+                             std::uint64_t refs = 400'000,
+                             unsigned scale_shift = 8);
+
+}  // namespace fpr::model

@@ -1,0 +1,35 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+
+namespace fpr::model {
+
+double attainable(const arch::CpuSpec& cpu, double ai, bool fp64_dominant) {
+  const double peak = cpu.peak_gflops(fp64_dominant ? arch::Precision::fp64
+                                                    : arch::Precision::fp32);
+  return std::min(peak, ai * cpu.dram_bw_gbs);
+}
+
+double ridge_point(const arch::CpuSpec& cpu, bool fp64_dominant) {
+  const double peak = cpu.peak_gflops(fp64_dominant ? arch::Precision::fp64
+                                                    : arch::Precision::fp32);
+  return peak / cpu.dram_bw_gbs;
+}
+
+RooflinePoint roofline_point(const arch::CpuSpec& cpu,
+                             const WorkloadMeasurement& w,
+                             const MemoryProfile& mem, const EvalResult& ev) {
+  RooflinePoint p;
+  p.name = w.name;
+  const bool fp64_dominant = w.ops.fp64 >= w.ops.fp32;
+  const double flops = static_cast<double>(w.ops.fp_total());
+  // The paper computes AI against DRAM traffic on the BDW reference.
+  const double bytes = std::max(1.0, mem.offchip_bytes);
+  p.arithmetic_intensity = flops / bytes;
+  p.achieved_gflops = ev.gflops;
+  p.attainable_gflops = attainable(cpu, p.arithmetic_intensity, fp64_dominant);
+  p.memory_side = p.arithmetic_intensity < ridge_point(cpu, fp64_dominant);
+  return p;
+}
+
+}  // namespace fpr::model

@@ -1,0 +1,34 @@
+// Roofline analysis (Fig. 5): arithmetic intensity vs. achieved Gflop/s
+// against the machine's compute and bandwidth ceilings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/cpu_spec.hpp"
+#include "model/exec_model.hpp"
+#include "model/workload.hpp"
+
+namespace fpr::model {
+
+struct RooflinePoint {
+  std::string name;
+  double arithmetic_intensity = 0.0;  ///< flop / off-chip byte
+  double achieved_gflops = 0.0;
+  double attainable_gflops = 0.0;  ///< min(peak, AI * BW)
+  bool memory_side = false;        ///< left of the ridge point
+};
+
+/// The machine's ridge point (flop/byte where the roofs intersect),
+/// using the dominant-precision peak of the given workload mix.
+double ridge_point(const arch::CpuSpec& cpu, bool fp64_dominant);
+
+/// Place one evaluated kernel on the roofline of `cpu`.
+RooflinePoint roofline_point(const arch::CpuSpec& cpu,
+                             const WorkloadMeasurement& w,
+                             const MemoryProfile& mem, const EvalResult& ev);
+
+/// Ceiling value at a given arithmetic intensity.
+double attainable(const arch::CpuSpec& cpu, double ai, bool fp64_dominant);
+
+}  // namespace fpr::model

@@ -1,0 +1,92 @@
+#include "study/domain_util.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace fpr::study {
+
+const std::vector<SiteUtilization>& site_utilization() {
+  // Shares read off Fig. 7 of the paper (each site's annual report).
+  static const std::vector<SiteUtilization> data = {
+      //            site              geo   chm   phy   qcd   mat   eng   mcs   bio   oth
+      {"ANL('16)",                   0.05, 0.10, 0.30, 0.08, 0.20, 0.10, 0.07, 0.05, 0.05},
+      {"NERSC('16)",                 0.15, 0.12, 0.28, 0.05, 0.20, 0.05, 0.05, 0.05, 0.05},
+      {"HLRS('17)",                  0.10, 0.05, 0.15, 0.00, 0.05, 0.55, 0.05, 0.02, 0.03},
+      {"RRZE('17)",                  0.05, 0.20, 0.25, 0.00, 0.25, 0.10, 0.05, 0.05, 0.05},
+      {"CSCS('17)",                  0.25, 0.15, 0.25, 0.05, 0.15, 0.05, 0.03, 0.05, 0.02},
+      {"R-CCS K-Computer('16)",      0.15, 0.10, 0.20, 0.10, 0.15, 0.20, 0.03, 0.05, 0.02},
+      {"U.Tokyo Oakforest-PACS('17)",0.15, 0.05, 0.30, 0.20, 0.15, 0.05, 0.03, 0.05, 0.02},
+      {"NARLabs('13)",               0.20, 0.15, 0.10, 0.00, 0.10, 0.25, 0.05, 0.10, 0.05},
+  };
+  return data;
+}
+
+kernels::Domain domain_of_label(const std::string& label) {
+  static const std::map<std::string, kernels::Domain> m = {
+      {"geo", kernels::Domain::geoscience},
+      {"chm", kernels::Domain::chemistry},
+      {"phy", kernels::Domain::physics},
+      {"qcd", kernels::Domain::lattice_qcd},
+      {"mat", kernels::Domain::material_science},
+      {"eng", kernels::Domain::engineering},
+      {"mcs", kernels::Domain::math_cs},
+      {"bio", kernels::Domain::bioscience},
+  };
+  const auto it = m.find(label);
+  if (it == m.end()) throw std::invalid_argument("unknown domain " + label);
+  return it->second;
+}
+
+namespace {
+
+// Mean %peak of the proxies representing `domain` on `machine`.
+double domain_pct_peak(kernels::Domain domain, const StudyResults& results,
+                       const std::string& machine) {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& k : results.kernels) {
+    const bool matches =
+        k.info.domain == domain ||
+        // The combined Table II domains contribute to both components.
+        (domain == kernels::Domain::physics &&
+         (k.info.domain == kernels::Domain::physics_bioscience ||
+          k.info.domain == kernels::Domain::physics_chemistry)) ||
+        (domain == kernels::Domain::bioscience &&
+         k.info.domain == kernels::Domain::physics_bioscience) ||
+        (domain == kernels::Domain::chemistry &&
+         k.info.domain == kernels::Domain::physics_chemistry);
+    if (!matches) continue;
+    if (k.meas.ops.fp_total() == 0) continue;  // I/O or graph proxies
+    sum += k.on(machine).perf.pct_of_peak;
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+}  // namespace
+
+double project_site_pct_peak(const SiteUtilization& site,
+                             const StudyResults& results,
+                             const std::string& machine_short_name) {
+  struct Entry {
+    const char* label;
+    double share;
+  };
+  const Entry entries[] = {
+      {"geo", site.geo}, {"chm", site.chm}, {"phy", site.phy},
+      {"qcd", site.qcd}, {"mat", site.mat}, {"eng", site.eng},
+      {"mcs", site.mcs}, {"bio", site.bio},
+  };
+  double weighted = 0.0, covered = 0.0;
+  for (const auto& e : entries) {
+    if (e.share <= 0.0) continue;
+    const double pct = domain_pct_peak(domain_of_label(e.label), results,
+                                       machine_short_name);
+    if (pct <= 0.0) continue;
+    weighted += e.share * pct;
+    covered += e.share;
+  }
+  return covered > 0.0 ? weighted / covered : 0.0;
+}
+
+}  // namespace fpr::study

@@ -1,0 +1,54 @@
+#include "study/methodology.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace fpr::study {
+
+ParallelismChoice find_best_parallelism(const kernels::ProxyKernel& k,
+                                        double scale, int repeats) {
+  ParallelismChoice choice;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // Candidate ladder: 1, hw/4, hw/2, hw, 2*hw (over-subscription).
+  std::vector<unsigned> candidates{1, std::max(1u, hw / 4),
+                                   std::max(1u, hw / 2), hw, 2 * hw};
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  choice.best_seconds = -1.0;
+  for (unsigned t : candidates) {
+    double best = -1.0;
+    for (int r = 0; r < repeats; ++r) {
+      kernels::RunConfig rc;
+      rc.threads = t;
+      rc.scale = scale;
+      const auto m = k.run(rc);
+      if (best < 0.0 || m.host_seconds < best) best = m.host_seconds;
+    }
+    choice.tried.emplace_back(t, best);
+    if (choice.best_seconds < 0.0 || best < choice.best_seconds) {
+      choice.best_seconds = best;
+      choice.threads = t;
+    }
+  }
+  return choice;
+}
+
+PerformanceRun performance_run(const kernels::ProxyKernel& k,
+                               const kernels::RunConfig& cfg, int repeats) {
+  PerformanceRun out;
+  std::vector<double> samples;
+  double best = -1.0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto m = k.run(cfg);
+    samples.push_back(m.host_seconds);
+    if (best < 0.0 || m.host_seconds < best) {
+      best = m.host_seconds;
+      out.best_meas = m;
+    }
+  }
+  out.timing = summarize(std::move(samples));
+  return out;
+}
+
+}  // namespace fpr::study

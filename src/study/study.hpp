@@ -1,0 +1,53 @@
+// The study driver: executes the paper's measurement pipeline end to end.
+// For each proxy kernel: run instrumented (the SDE/PCM step), simulate
+// its memory behaviour per machine (the PCM step), evaluate the machine
+// model at the performance operating point and across the frequency
+// sweep (the Sec. III-A steps 3's performance/profiling/frequency runs).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/machines.hpp"
+#include "kernels/kernel.hpp"
+#include "model/exec_model.hpp"
+#include "model/memprofile.hpp"
+
+namespace fpr::study {
+
+struct MachineResult {
+  arch::CpuSpec cpu;
+  model::MemoryProfile mem;
+  model::EvalResult perf;  ///< at max frequency + turbo (performance run)
+  std::vector<std::pair<arch::FreqState, model::EvalResult>> freq_sweep;
+};
+
+struct KernelResult {
+  kernels::KernelInfo info;
+  model::WorkloadMeasurement meas;
+  std::vector<MachineResult> machines;  ///< KNL, KNM, BDW (paper order)
+
+  [[nodiscard]] const MachineResult& on(std::string_view short_name) const;
+};
+
+struct StudyConfig {
+  double scale = 1.0;       ///< kernel input scale (tests use less)
+  unsigned threads = 0;     ///< host worker threads (0 = all)
+  bool freq_sweep = true;   ///< run the Fig. 6 frequency evaluation
+  std::uint64_t trace_refs = 400'000;  ///< cache-sim trace length
+  /// Subset of kernel abbreviations to run (empty = all).
+  std::vector<std::string> kernels;
+};
+
+struct StudyResults {
+  std::vector<KernelResult> kernels;
+
+  [[nodiscard]] const KernelResult* find(std::string_view abbrev) const;
+};
+
+/// Run the full pipeline. Kernels that fail verification abort the study
+/// with the kernel's exception (the paper's step 4: anomalies restart).
+StudyResults run_study(const StudyConfig& cfg = {});
+
+}  // namespace fpr::study

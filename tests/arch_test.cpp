@@ -1,0 +1,126 @@
+// Unit tests for the machine descriptions: the CpuSpec math must
+// reproduce the paper's Table I numbers exactly.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "arch/machines.hpp"
+
+namespace fpr::arch {
+namespace {
+
+TEST(FpuConfig, LanesAndFlops) {
+  const FpuConfig avx512{.units = 2, .vector_bits = 512, .pump = 1};
+  EXPECT_EQ(avx512.lanes(Precision::fp64), 8);
+  EXPECT_EQ(avx512.lanes(Precision::fp32), 16);
+  EXPECT_EQ(avx512.flops_per_cycle(Precision::fp64), 32);
+  EXPECT_EQ(avx512.flops_per_cycle(Precision::fp32), 64);
+  const FpuConfig vnni{.units = 2, .vector_bits = 512, .pump = 2};
+  EXPECT_EQ(vnni.flops_per_cycle(Precision::fp32), 128);
+}
+
+TEST(Machines, Table1PeaksKnl) {
+  const CpuSpec c = knl();
+  c.validate();
+  // Table I: 2662 Gflop/s FP64, 5324 Gflop/s FP32.
+  EXPECT_NEAR(c.peak_gflops(Precision::fp64), 2662.4, 1.0);
+  EXPECT_NEAR(c.peak_gflops(Precision::fp32), 5324.8, 1.0);
+  EXPECT_EQ(c.cores, 64);
+  EXPECT_TRUE(c.has_mcdram());
+}
+
+TEST(Machines, Table1PeaksKnm) {
+  const CpuSpec c = knm();
+  c.validate();
+  // Table I: 1728 Gflop/s FP64, 13824 Gflop/s FP32.
+  EXPECT_NEAR(c.peak_gflops(Precision::fp64), 1728.0, 1.0);
+  EXPECT_NEAR(c.peak_gflops(Precision::fp32), 13824.0, 1.0);
+}
+
+TEST(Machines, Table1PeaksBdw) {
+  const CpuSpec c = bdw();
+  c.validate();
+  // Table I: 691 Gflop/s FP64 and 1382 FP32 (at the AVX base frequency).
+  EXPECT_NEAR(c.peak_gflops(Precision::fp64), 691.2, 1.0);
+  EXPECT_NEAR(c.peak_gflops(Precision::fp32), 1382.4, 1.0);
+}
+
+TEST(Machines, PaperRatios) {
+  // Sec. II-A: "KNM has 2.59x more single-precision compute, while the
+  // KNL has 1.54x more double-precision compute."
+  const double sp_ratio = knm().peak_gflops(Precision::fp32) /
+                          knl().peak_gflops(Precision::fp32);
+  const double dp_ratio = knl().peak_gflops(Precision::fp64) /
+                          knm().peak_gflops(Precision::fp64);
+  EXPECT_NEAR(sp_ratio, 2.59, 0.02);
+  EXPECT_NEAR(dp_ratio, 1.54, 0.02);
+}
+
+TEST(Machines, PeakScalesWithFrequency) {
+  const CpuSpec c = knl();
+  const double p13 = c.peak_gflops(Precision::fp64, 1.3);
+  const double p10 = c.peak_gflops(Precision::fp64, 1.0);
+  EXPECT_NEAR(p13 / p10, 1.3, 1e-9);
+}
+
+TEST(Machines, FrequencySweepEndsWithTurbo) {
+  for (const auto& c : all_machines()) {
+    const auto sweep = c.frequency_sweep();
+    ASSERT_GE(sweep.size(), 2u);
+    EXPECT_FALSE(sweep.front().turbo);
+    EXPECT_TRUE(sweep.back().turbo);
+    // Paper's pessimistic +100 MHz turbo point.
+    EXPECT_NEAR(sweep.back().ghz, c.freq_states_ghz.back() + 0.1, 1e-9);
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+      EXPECT_GT(sweep[i].ghz, sweep[i - 1].ghz);
+    }
+  }
+}
+
+TEST(Machines, FreqStatesMatchPaperFig6) {
+  EXPECT_EQ(knl().freq_states_ghz.size(), 4u);   // 1.0 .. 1.3
+  EXPECT_EQ(knm().freq_states_ghz.size(), 6u);   // 1.0 .. 1.5
+  EXPECT_EQ(bdw().freq_states_ghz.size(), 11u);  // 1.2 .. 2.2
+}
+
+TEST(Machines, IntThroughputPositive) {
+  for (const auto& c : all_machines()) {
+    EXPECT_GT(c.peak_giops(c.base_ghz), 0.0);
+  }
+}
+
+TEST(Machines, ValidationCatchesBadSpecs) {
+  CpuSpec c = knl();
+  c.cores = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = knl();
+  c.freq_states_ghz = {1.3, 1.0};  // not ascending
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = knl();
+  c.mcdram_bw_gbs = 10.0;  // slower than DRAM
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = knl();
+  c.fpu_issue_eff = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Machines, HypotheticalFpuSwap) {
+  const CpuSpec hybrid = with_fpu_of(knl(), knm());
+  // KNL's core count/frequency with KNM's FPU: FP64 peak drops to half.
+  EXPECT_NEAR(hybrid.peak_gflops(Precision::fp64),
+              knl().peak_gflops(Precision::fp64) / 2.0, 1.0);
+  EXPECT_NE(hybrid.short_name, knl().short_name);
+  EXPECT_EQ(hybrid.cores, knl().cores);
+}
+
+TEST(Machines, AllMachinesPaperOrder) {
+  const auto m = all_machines();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0].short_name, "KNL");
+  EXPECT_EQ(m[1].short_name, "KNM");
+  EXPECT_EQ(m[2].short_name, "BDW");
+  for (const auto& c : m) c.validate();
+}
+
+}  // namespace
+}  // namespace fpr::arch

@@ -1,0 +1,207 @@
+// Unit tests for the SDE-substitute: tallies, registry, counted<T>,
+// assay regions.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "counters/assay.hpp"
+#include "counters/counted.hpp"
+#include "counters/registry.hpp"
+
+namespace fpr::counters {
+namespace {
+
+class CountersTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_all(); }
+};
+
+TEST_F(CountersTest, TallyArithmetic) {
+  OpTally a{.fp64 = 10, .fp32 = 5, .int_ops = 3};
+  OpTally b{.fp64 = 1, .fp32 = 2, .int_ops = 3};
+  const OpTally sum = a + b;
+  EXPECT_EQ(sum.fp64, 11u);
+  EXPECT_EQ(sum.fp32, 7u);
+  EXPECT_EQ(sum.int_ops, 6u);
+  const OpTally diff = sum - b;
+  EXPECT_EQ(diff, a);
+}
+
+TEST_F(CountersTest, Shares) {
+  OpTally t{.fp64 = 50, .fp32 = 25, .int_ops = 25};
+  EXPECT_DOUBLE_EQ(t.fp64_share(), 0.5);
+  EXPECT_DOUBLE_EQ(t.fp32_share(), 0.25);
+  EXPECT_DOUBLE_EQ(t.int_share(), 0.25);
+  EXPECT_EQ(t.fp_total(), 75u);
+  OpTally empty;
+  EXPECT_EQ(empty.fp64_share(), 0.0);
+}
+
+TEST_F(CountersTest, LocalTallyAccumulates) {
+  add_fp64(5);
+  add_fp32(3);
+  add_int(2);
+  add_branch(1);
+  add_read_bytes(100);
+  add_write_bytes(50);
+  const OpTally snap = global_snapshot();
+  EXPECT_GE(snap.fp64, 5u);
+  EXPECT_GE(snap.fp32, 3u);
+  EXPECT_GE(snap.int_ops, 2u);
+  EXPECT_GE(snap.branches, 1u);
+  EXPECT_GE(snap.bytes_read, 100u);
+  EXPECT_GE(snap.bytes_written, 50u);
+}
+
+TEST_F(CountersTest, SnapshotSumsAcrossThreads) {
+  reset_all();
+  const OpTally before = global_snapshot();
+  std::thread t1([] { add_fp64(100); });
+  std::thread t2([] { add_fp64(200); });
+  t1.join();
+  t2.join();
+  const OpTally after = global_snapshot();
+  EXPECT_EQ(after.fp64 - before.fp64, 300u);
+}
+
+TEST_F(CountersTest, RetiredThreadCountsPreserved) {
+  reset_all();
+  std::thread t([] { add_int(77); });
+  t.join();  // tally retired on thread exit
+  EXPECT_GE(global_snapshot().int_ops, 77u);
+}
+
+TEST_F(CountersTest, CountedDoubleCountsFp64) {
+  reset_all();
+  const OpTally before = global_snapshot();
+  counted<double> a = 2.0, b = 3.0;
+  const counted<double> c = a * b + a - b / a;
+  EXPECT_DOUBLE_EQ(c.value(), 2.0 * 3.0 + 2.0 - 3.0 / 2.0);
+  const OpTally d = global_snapshot() - before;
+  EXPECT_EQ(d.fp64, 4u);  // *, +, -, /
+  EXPECT_EQ(d.fp32, 0u);
+}
+
+TEST_F(CountersTest, CountedFloatCountsFp32) {
+  reset_all();
+  const OpTally before = global_snapshot();
+  counted<float> a = 1.5f, b = 2.0f;
+  (void)(a + b);
+  const OpTally d = global_snapshot() - before;
+  EXPECT_EQ(d.fp32, 1u);
+  EXPECT_EQ(d.fp64, 0u);
+}
+
+TEST_F(CountersTest, CountedIntCountsInt) {
+  reset_all();
+  const OpTally before = global_snapshot();
+  counted<int> a = 6, b = 7;
+  (void)(a * b);
+  const OpTally d = global_snapshot() - before;
+  EXPECT_EQ(d.int_ops, 1u);
+}
+
+TEST_F(CountersTest, CountedFmaCountsTwo) {
+  reset_all();
+  const OpTally before = global_snapshot();
+  const auto r = fma(counted<double>(2), counted<double>(3),
+                     counted<double>(4));
+  EXPECT_DOUBLE_EQ(r.value(), 10.0);
+  EXPECT_EQ((global_snapshot() - before).fp64, 2u);
+}
+
+TEST_F(CountersTest, CountedComparisonCountsBranch) {
+  reset_all();
+  const OpTally before = global_snapshot();
+  counted<double> a = 1.0, b = 2.0;
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(a > b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_FALSE(a >= b);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ((global_snapshot() - before).branches, 5u);
+}
+
+TEST_F(CountersTest, CountedSqrtAbsNegate) {
+  reset_all();
+  const OpTally before = global_snapshot();
+  EXPECT_DOUBLE_EQ(sqrt(counted<double>(9.0)).value(), 3.0);
+  EXPECT_DOUBLE_EQ(abs(counted<double>(-2.0)).value(), 2.0);
+  EXPECT_DOUBLE_EQ((-counted<double>(5.0)).value(), -5.0);
+  EXPECT_EQ((global_snapshot() - before).fp64, 3u);
+}
+
+TEST_F(CountersTest, RawExtraction) {
+  EXPECT_DOUBLE_EQ(raw(counted<double>(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(raw(1.5), 1.5);
+  static_assert(std::is_same_v<scalar_t<counted<float>>, float>);
+  static_assert(std::is_same_v<scalar_t<double>, double>);
+}
+
+TEST_F(CountersTest, AssayMeasuresDelta) {
+  AssayRecorder rec;
+  add_fp64(50);  // outside the region: must not count
+  rec.start();
+  add_fp64(7);
+  rec.stop();
+  add_fp64(50);  // after: must not count
+  EXPECT_EQ(rec.ops().fp64, 7u);
+  EXPECT_GT(rec.seconds(), 0.0);
+  EXPECT_EQ(rec.intervals(), 1u);
+}
+
+TEST_F(CountersTest, AssayAccumulatesIntervals) {
+  AssayRecorder rec;
+  rec.start();
+  add_int(3);
+  rec.stop();
+  rec.start();
+  add_int(4);
+  rec.stop();
+  EXPECT_EQ(rec.ops().int_ops, 7u);
+  EXPECT_EQ(rec.intervals(), 2u);
+}
+
+TEST_F(CountersTest, AssayDoubleStartThrows) {
+  AssayRecorder rec;
+  rec.start();
+  EXPECT_THROW(rec.start(), std::logic_error);
+  rec.stop();
+  EXPECT_THROW(rec.stop(), std::logic_error);
+}
+
+TEST_F(CountersTest, ScopedAssayStopsOnException) {
+  AssayRecorder rec;
+  try {
+    ScopedAssay scope(rec);
+    add_fp64(11);
+    throw std::runtime_error("solver blew up");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(rec.running());
+  EXPECT_EQ(rec.ops().fp64, 11u);
+}
+
+TEST_F(CountersTest, AssayCapturesPoolThreads) {
+  AssayRecorder rec;
+  rec.start();
+  ThreadPool::global().parallel_for(
+      64, [](std::size_t lo, std::size_t hi, unsigned) {
+        add_fp64(hi - lo);
+      });
+  rec.stop();
+  EXPECT_EQ(rec.ops().fp64, 64u);
+}
+
+TEST_F(CountersTest, ResetClearsEverything) {
+  add_fp64(5);
+  reset_all();
+  const OpTally t = global_snapshot();
+  EXPECT_EQ(t.fp64, 0u);
+  EXPECT_EQ(t.int_ops, 0u);
+}
+
+}  // namespace
+}  // namespace fpr::counters

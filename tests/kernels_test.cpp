@@ -1,0 +1,172 @@
+// Per-kernel behavioural tests: registry integrity, determinism, op-mix
+// sanity, scaling behaviour. (Verification correctness is exercised in
+// kernels_verify_test.cpp, which runs every kernel's self-check.)
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernels/kernel.hpp"
+
+namespace fpr::kernels {
+namespace {
+
+TEST(Registry, HasAllPaperApps) {
+  const auto abbrevs = all_abbrevs();
+  // 12 ECP + 8 RIKEN + HPL + HPCG + 2 BabelStream configs.
+  EXPECT_EQ(abbrevs.size(), 24u);
+  const std::set<std::string> s(abbrevs.begin(), abbrevs.end());
+  for (const char* a :
+       {"AMG", "CNDL", "CoMD", "LAGO", "MxIO", "MAMR", "MiFE", "MTri",
+        "NekB", "SW4L", "FFT", "XSBn", "FFB", "FFVC", "MDYL", "mVMC",
+        "NGSA", "NICM", "NTCh", "QCD", "HPL", "HPCG", "BABL2", "BABL14"}) {
+    EXPECT_TRUE(s.count(a)) << a;
+  }
+}
+
+TEST(Registry, AbbrevsUnique) {
+  const auto abbrevs = all_abbrevs();
+  const std::set<std::string> s(abbrevs.begin(), abbrevs.end());
+  EXPECT_EQ(s.size(), abbrevs.size());
+}
+
+TEST(Registry, MakeByNameAndUnknownThrows) {
+  EXPECT_EQ(make("AMG")->info().abbrev, "AMG");
+  EXPECT_EQ(make("HPL")->info().abbrev, "HPL");
+  EXPECT_THROW(make("NOPE"), std::invalid_argument);
+}
+
+TEST(Registry, SuiteSizesMatchPaper) {
+  int ecp = 0, riken = 0, ref = 0;
+  for (const auto& k : make_all()) {
+    switch (k->info().suite) {
+      case Suite::ecp: ++ecp; break;
+      case Suite::riken: ++riken; break;
+      case Suite::reference: ++ref; break;
+    }
+  }
+  EXPECT_EQ(ecp, 12);   // Sec. II-B1
+  EXPECT_EQ(riken, 8);  // Sec. II-B2
+  EXPECT_EQ(ref, 4);    // HPL, HPCG, BABL2, BABL14
+}
+
+TEST(Registry, InfoFieldsPopulated) {
+  for (const auto& k : make_all()) {
+    const auto& i = k->info();
+    EXPECT_FALSE(i.name.empty());
+    EXPECT_FALSE(i.abbrev.empty());
+    EXPECT_FALSE(i.language.empty());
+    EXPECT_FALSE(i.paper_input.empty());
+  }
+}
+
+class KernelRunTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelRunTest, RunsVerifiesAndReports) {
+  const auto kernel = make(GetParam());
+  RunConfig cfg;
+  cfg.scale = 0.25;  // keep tests quick
+  const auto m = kernel->run(cfg);
+  EXPECT_TRUE(m.verified);
+  EXPECT_GT(m.host_seconds, 0.0);
+  EXPECT_GT(m.working_set_bytes, 0u);
+  EXPECT_FALSE(m.access.components.empty());
+  EXPECT_GT(m.ops.classified_total(), 0u);
+  EXPECT_GT(m.ops.bytes_read + m.ops.bytes_written, 0u);
+  EXPECT_GT(m.traits.vec_eff, 0.0);
+  EXPECT_LE(m.traits.vec_eff, 1.0);
+}
+
+TEST_P(KernelRunTest, DeterministicOpsAcrossRuns) {
+  const auto kernel = make(GetParam());
+  RunConfig cfg;
+  cfg.scale = 0.2;
+  const auto a = kernel->run(cfg);
+  const auto b = kernel->run(cfg);
+  EXPECT_EQ(a.ops.fp64, b.ops.fp64);
+  EXPECT_EQ(a.ops.fp32, b.ops.fp32);
+  EXPECT_EQ(a.ops.int_ops, b.ops.int_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelRunTest,
+    ::testing::ValuesIn(all_abbrevs()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// Op-mix expectations from the paper's Fig. 1 / Table IV.
+TEST(OpMix, Fp64DominantApps) {
+  for (const char* a : {"NekB", "SW4L", "HPL", "CoMD"}) {
+    const auto m = make(a)->run({.threads = 0, .scale = 0.2});
+    EXPECT_GT(m.ops.fp64, m.ops.fp32) << a;
+  }
+}
+
+TEST(OpMix, Fp32DominantApps) {
+  // Fig. 1: CANDLE, FFB, FFVC lean on single precision.
+  for (const char* a : {"CNDL", "FFB", "FFVC"}) {
+    const auto m = make(a)->run({.threads = 0, .scale = 0.2});
+    EXPECT_GT(m.ops.fp32, m.ops.fp64) << a;
+  }
+}
+
+TEST(OpMix, IntegerOnlyApps) {
+  // Fig. 1 / Table IV: MiniTri and NGSA perform (almost) no FP work.
+  for (const char* a : {"MTri", "NGSA"}) {
+    const auto m = make(a)->run({.threads = 0, .scale = 0.2});
+    EXPECT_GT(m.ops.int_share(), 0.95) << a;
+  }
+}
+
+TEST(OpMix, MajorityIssueManyIntOps) {
+  // Paper Sec. IV-A: 16 of 22 apps issue at least 50% integer ops. Check
+  // the known int-heavy ones.
+  for (const char* a : {"LAGO", "MAMR", "FFVC", "QCD", "MxIO"}) {
+    const auto m = make(a)->run({.threads = 0, .scale = 0.2});
+    EXPECT_GT(m.ops.int_share(), 0.5) << a;
+  }
+}
+
+TEST(Scaling, OpsGrowWithScale) {
+  // Raw (pre-extrapolation) op counts must grow with the input scale.
+  // Host time would also grow but is too noisy under parallel test load.
+  for (const char* a : {"HPL", "AMG", "FFT"}) {
+    const auto small = make(a)->run({.threads = 0, .scale = 0.1});
+    const auto large = make(a)->run({.threads = 0, .scale = 1.0});
+    const double raw_small =
+        static_cast<double>(small.ops.fp_total()) / small.ops_scale_to_paper;
+    const double raw_large =
+        static_cast<double>(large.ops.fp_total()) / large.ops_scale_to_paper;
+    EXPECT_GT(raw_large, raw_small * 2.0) << a;
+  }
+}
+
+TEST(Threads, SingleThreadMatchesParallelOps) {
+  // Operation counts must be independent of the parallel decomposition.
+  for (const char* a : {"NekB", "BABL2", "QCD"}) {
+    const auto par = make(a)->run({.threads = 0, .scale = 0.2});
+    const auto ser = make(a)->run({.threads = 1, .scale = 0.2});
+    EXPECT_EQ(par.ops.fp64, ser.ops.fp64) << a;
+    EXPECT_EQ(par.ops.fp32, ser.ops.fp32) << a;
+  }
+}
+
+TEST(PhiAdjust, LaghosAndHpcgCarryDeviations) {
+  // The paper-documented per-arch op deviations must be encoded.
+  const auto lago = make("LAGO")->run({.threads = 0, .scale = 0.2});
+  EXPECT_NEAR(lago.traits.phi_adjust.fp64, 1.92, 0.2);
+  const auto hpcg = make("HPCG")->run({.threads = 0, .scale = 0.2});
+  EXPECT_GT(hpcg.traits.phi_adjust.int_ops, 50.0);
+}
+
+TEST(Macsio, CarriesIoBytes) {
+  const auto m = make("MxIO")->run({.threads = 0, .scale = 0.2});
+  EXPECT_NEAR(m.traits.io_write_bytes, 433.8e6, 1e6);
+}
+
+}  // namespace
+}  // namespace fpr::kernels

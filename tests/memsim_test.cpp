@@ -1,0 +1,209 @@
+// Unit tests for the cache/memory simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "arch/machines.hpp"
+#include "memsim/bandwidth.hpp"
+#include "memsim/cache.hpp"
+#include "memsim/hierarchy.hpp"
+#include "memsim/trace_gen.hpp"
+
+namespace fpr::memsim {
+namespace {
+
+TEST(CacheConfig, GeometryMath) {
+  CacheConfig cfg{.size_bytes = 32 * 1024, .line_bytes = 64,
+                  .associativity = 8};
+  cfg.validate();
+  EXPECT_EQ(cfg.num_lines(), 512u);
+  EXPECT_EQ(cfg.num_sets(), 64u);
+}
+
+TEST(CacheConfig, RejectsBadGeometry) {
+  CacheConfig cfg{.size_bytes = 1000, .line_bytes = 64, .associativity = 8};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {.size_bytes = 32 * 1024, .line_bytes = 48, .associativity = 8};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // Non-power-of-two set counts are allowed (modulo indexing).
+  cfg = {.size_bytes = 3 * 64 * 8, .line_bytes = 64, .associativity = 8};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Cache, HitsAfterMiss) {
+  Cache c({.size_bytes = 4096, .line_bytes = 64, .associativity = 4});
+  EXPECT_FALSE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x1010, false));  // same line
+  EXPECT_FALSE(c.access(0x2000, false));
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction) {
+  // 1 set x 2 ways: lines 0 and 1 fit, line 2 evicts the LRU (line 0).
+  Cache c({.size_bytes = 128, .line_bytes = 64, .associativity = 2});
+  c.access(0 * 64, false);
+  c.access(1 * 64 * 1, false);  // same set? with 1 set, every line maps there
+  c.access(2 * 64, false);      // evicts line 0
+  EXPECT_FALSE(c.access(0 * 64, false));  // line 0 gone
+  EXPECT_TRUE(c.access(2 * 64, false));   // line 2 still resident
+}
+
+TEST(Cache, LruTouchPreventsEviction) {
+  Cache c({.size_bytes = 128, .line_bytes = 64, .associativity = 2});
+  c.access(0, false);
+  c.access(64, false);
+  c.access(0, false);    // touch line 0: line 64 becomes LRU
+  c.access(128, false);  // evicts line 64
+  EXPECT_TRUE(c.access(0, false));
+  EXPECT_FALSE(c.access(64, false));
+}
+
+TEST(Cache, WritebackOnDirtyEviction) {
+  Cache c({.size_bytes = 128, .line_bytes = 64, .associativity = 2});
+  c.access(0, true);     // dirty
+  c.access(64, false);
+  c.access(128, false);  // evicts dirty line 0
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, ClearResets) {
+  Cache c({.size_bytes = 4096, .line_bytes = 64, .associativity = 4});
+  c.access(0, true);
+  c.clear();
+  EXPECT_EQ(c.stats().accesses(), 0u);
+  EXPECT_FALSE(c.access(0, false));  // cold again
+}
+
+TEST(Cache, StreamingHitRateIsSevenEighths) {
+  // Sequential 8B accesses: 1 miss per 64B line = 7/8 hit rate.
+  Cache c({.size_bytes = 64 * 1024, .line_bytes = 64, .associativity = 8});
+  for (std::uint64_t a = 0; a < 32 * 1024; a += 8) c.access(a, false);
+  EXPECT_NEAR(c.stats().hit_rate(), 7.0 / 8.0, 0.01);
+}
+
+TEST(TraceGen, StreamPatternIsSequentialPerArray) {
+  AccessPatternSpec spec = AccessPatternSpec::single(
+      StreamPattern{.bytes_per_array = 1 << 20, .arrays = 1,
+                    .writes_per_iter = 0});
+  TraceGenerator gen(spec, 1);
+  std::uint64_t prev = gen.next().addr;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = gen.next().addr;
+    EXPECT_EQ(a, prev + 8);
+    prev = a;
+  }
+}
+
+TEST(TraceGen, ChaseVisitsAllNodes) {
+  AccessPatternSpec spec = AccessPatternSpec::single(
+      ChasePattern{.footprint_bytes = 64 * 64, .node_bytes = 64});
+  TraceGenerator gen(spec, 2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(gen.next().addr);
+  // Sattolo cycle: all 64 nodes visited exactly once per period.
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(TraceGen, MixtureUsesDistinctRanges) {
+  AccessPatternSpec spec;
+  spec.components.push_back(
+      {StreamPattern{.bytes_per_array = 4096, .arrays = 1}, 1.0});
+  spec.components.push_back(
+      {GatherPattern{.table_bytes = 4096, .elem_bytes = 8}, 1.0});
+  TraceGenerator gen(spec, 3);
+  std::set<std::uint64_t> bases;
+  for (int i = 0; i < 1000; ++i) bases.insert(gen.next().addr >> 40);
+  EXPECT_GE(bases.size(), 2u);  // distinct 2^40 component windows
+}
+
+TEST(TraceGen, RejectsEmptyAndBadWeights) {
+  EXPECT_THROW(TraceGenerator(AccessPatternSpec{}, 1), std::invalid_argument);
+  AccessPatternSpec bad;
+  bad.components.push_back({StreamPattern{}, -1.0});
+  EXPECT_THROW(TraceGenerator(bad, 1), std::invalid_argument);
+}
+
+TEST(TraceGen, PatternNames) {
+  EXPECT_EQ(pattern_name(StreamPattern{}), "stream");
+  EXPECT_EQ(pattern_name(StencilPattern{}), "stencil");
+  EXPECT_EQ(pattern_name(GatherPattern{}), "gather");
+  EXPECT_EQ(pattern_name(ChasePattern{}), "chase");
+  EXPECT_EQ(pattern_name(BlockedPattern{}), "blocked");
+  EXPECT_EQ(pattern_name(StridedPattern{}), "strided");
+}
+
+TEST(Hierarchy, LevelsForPhiAndBdw) {
+  Hierarchy phi(arch::knl(), 6);
+  EXPECT_EQ(phi.num_levels(), 3u);
+  EXPECT_EQ(phi.level_name(2), "MCDRAM$");
+  Hierarchy xeon(arch::bdw(), 6);
+  EXPECT_EQ(xeon.num_levels(), 3u);
+  EXPECT_EQ(xeon.level_name(2), "LLC");
+}
+
+TEST(Hierarchy, SmallWorkingSetHitsHigh) {
+  // A stream fitting easily in the (scaled) caches: high combined hit.
+  AccessPatternSpec spec = AccessPatternSpec::single(
+      StreamPattern{.bytes_per_array = 32 * 1024, .arrays = 1});
+  const auto res = simulate_pattern(arch::knl(), spec, 200000, 7, 6);
+  EXPECT_GT(res.served_at_or_above("L2"), 0.95);
+}
+
+TEST(Hierarchy, HugeGatherMissesMcdram) {
+  // Random gather over a table far beyond MCDRAM: most refs go to DRAM.
+  AccessPatternSpec spec = AccessPatternSpec::single(
+      GatherPattern{.table_bytes = 200ull << 30, .elem_bytes = 8,
+                    .sequential_fraction = 0.0});
+  const auto res = simulate_pattern(arch::knl(), spec, 150000);
+  EXPECT_GT(res.dram_fraction(), 0.5);
+}
+
+TEST(Hierarchy, ScaledBytesFloorsAtLine) {
+  Hierarchy h(arch::knl(), 6);
+  EXPECT_EQ(h.scaled_bytes(1), 64u);
+  EXPECT_EQ(h.scaled_bytes(1 << 20), (1u << 20) >> 6);
+}
+
+TEST(Bandwidth, BdwIsJustDram) {
+  const auto bw = effective_bandwidth(arch::bdw(), 1 << 30, 0.0);
+  EXPECT_DOUBLE_EQ(bw.effective_gbs, arch::bdw().dram_bw_gbs);
+}
+
+TEST(Bandwidth, FullCaptureGivesCacheModeCeiling) {
+  // Paper Sec. IV-C: 86% of flat-mode Triad on KNL when vectors fit.
+  const auto bw = effective_bandwidth(arch::knl(), 6ull << 30, 1.0);
+  EXPECT_NEAR(bw.effective_gbs, 439.0 * 0.86, 1.0);
+  const auto knm = effective_bandwidth(arch::knm(), 6ull << 30, 1.0);
+  EXPECT_NEAR(knm.effective_gbs, 430.0 * 0.75, 1.0);
+}
+
+TEST(Bandwidth, OversizeWorkingSetDropsTowardDram) {
+  // 42 GiB of stream against 16 GiB MCDRAM: near-DRAM throughput
+  // ("slightly higher than DRAM", paper Fig. 4 BABL14).
+  const auto bw = effective_bandwidth(arch::knl(), 42ull << 30, 1.0);
+  EXPECT_GE(bw.effective_gbs, arch::knl().dram_bw_gbs);
+  EXPECT_LT(bw.effective_gbs, 200.0);
+}
+
+TEST(Bandwidth, MonotonicInCapture) {
+  double prev = 0.0;
+  for (double c = 0.0; c <= 1.0; c += 0.1) {
+    const auto bw = effective_bandwidth(arch::knl(), 4ull << 30, c);
+    EXPECT_GE(bw.effective_gbs, prev - 1e-9);
+    prev = bw.effective_gbs;
+  }
+}
+
+TEST(Latency, CacheModeMissCostsMore) {
+  const double hit = effective_latency_ns(arch::knl(), 1.0);
+  const double miss = effective_latency_ns(arch::knl(), 0.0);
+  EXPECT_GT(miss, hit);
+  EXPECT_DOUBLE_EQ(effective_latency_ns(arch::bdw(), 0.5),
+                   arch::bdw().dram_latency_ns);
+}
+
+}  // namespace
+}  // namespace fpr::memsim
