@@ -1,0 +1,300 @@
+#include "cli/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "arch/machines.hpp"
+#include "common/table.hpp"
+#include "counters/op_tally.hpp"
+#include "kernels/kernel.hpp"
+#include "model/exec_model.hpp"
+#include "model/memprofile.hpp"
+#include "model/roofline.hpp"
+#include "study/figures.hpp"
+#include "study/methodology.hpp"
+
+namespace fpr::cli {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fpr <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  list                 list all registered proxy kernels (Table II)\n"
+    "  tables               print the static paper tables (I, II, III)\n"
+    "  run [options]        run kernels: op-mix assay + machine projection\n"
+    "  help                 show this message\n"
+    "\n"
+    "run options:\n"
+    "  --kernel A[,B,...]   kernel abbreviations to run (default: all;\n"
+    "                       repeatable, comma-separated)\n"
+    "  --scale S            input scale multiplier, > 0 (default 0.3)\n"
+    "  --threads N          worker threads, 0 = all hardware (default 0)\n"
+    "  --repeats R          trials per kernel, fastest kept (default 3)\n"
+    "  --seed N             PRNG seed for synthetic inputs (default 42)\n"
+    "  --auto-threads       pick threads per kernel via the step-2\n"
+    "                       parallelism search (overrides --threads)\n"
+    "  --csv                emit CSV instead of aligned tables\n";
+
+struct RunOptions {
+  std::vector<std::string> kernels;  // empty = all, in paper order
+  double scale = 0.3;
+  unsigned threads = 0;
+  int repeats = 3;
+  std::uint64_t seed = 42;
+  bool auto_threads = false;
+  bool csv = false;
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void print(const TextTable& t, bool csv, std::ostream& out) {
+  if (csv) {
+    t.print_csv(out);
+  } else {
+    t.print(out);
+  }
+  out << "\n";
+}
+
+int usage_error(std::ostream& err, const std::string& message) {
+  err << "fpr: " << message << "\n" << kUsage;
+  return 2;
+}
+
+int cmd_list(bool csv, std::ostream& out) {
+  TextTable t({"#", "Abbrev", "Name", "Suite", "Domain", "Pattern",
+               "Language", "Paper input"});
+  long long n = 0;
+  for (const auto& k : kernels::make_all()) {
+    const auto& info = k->info();
+    t.row()
+        .integer(++n)
+        .cell(info.abbrev)
+        .cell(info.name)
+        .cell(to_string(info.suite))
+        .cell(to_string(info.domain))
+        .cell(to_string(info.pattern))
+        .cell(info.language)
+        .cell(info.paper_input)
+        .done();
+  }
+  print(t, csv, out);
+  return 0;
+}
+
+int cmd_tables(bool csv, std::ostream& out) {
+  print(study::table1_hardware(), csv, out);
+  print(study::table2_categorization(), csv, out);
+  print(study::table3_metrics(), csv, out);
+  return 0;
+}
+
+/// Fig. 1-style operation-mix row for one measured kernel.
+void add_opmix_row(TextTable& t, const model::WorkloadMeasurement& m) {
+  const auto& ops = m.ops;
+  const double giga = 1e9;
+  t.row()
+      .cell(m.name)
+      .num(static_cast<double>(ops.fp64) / giga, 1)
+      .num(static_cast<double>(ops.fp32) / giga, 1)
+      .num(static_cast<double>(ops.int_ops) / giga, 1)
+      .num(100.0 * ops.fp64_share(), 1)
+      .num(100.0 * ops.fp32_share(), 1)
+      .num(100.0 * ops.int_share(), 1)
+      .num(static_cast<double>(ops.bytes_read + ops.bytes_written) / giga, 1)
+      .num(m.host_seconds, 4)
+      .cell(m.verified ? "yes" : "NO")
+      .done();
+}
+
+/// Per-machine model projection (Fig. 2/Table IV-style metrics) plus the
+/// kernel's placement on each machine's roofline (Fig. 5 coordinates).
+/// One row per (kernel, machine) appended to the shared table.
+void add_projection_rows(TextTable& t, const std::string& abbrev,
+                         const model::WorkloadMeasurement& meas) {
+  for (const auto& cpu : arch::all_machines()) {
+    const auto mem = model::profile_memory(cpu, meas);
+    const auto ev = model::evaluate_at_turbo(cpu, meas, mem);
+    const auto rp = model::roofline_point(cpu, meas, mem, ev);
+    t.row()
+        .cell(abbrev)
+        .cell(cpu.short_name)
+        .cell(std::string(model::to_string(ev.bound)))
+        .num(ev.seconds, 3)
+        .num(ev.gflops, 1)
+        .num(ev.pct_of_peak, 1)
+        .num(ev.mem_throughput_gbs, 1)
+        .num(rp.arithmetic_intensity, 3)
+        .num(rp.attainable_gflops, 1)
+        .cell(rp.memory_side ? "memory" : "compute")
+        .done();
+  }
+}
+
+int cmd_run(const RunOptions& opt, std::ostream& out, std::ostream& err) {
+  const auto known = kernels::all_abbrevs();
+  auto selection = opt.kernels.empty() ? known : opt.kernels;
+  for (const auto& abbrev : selection) {
+    if (std::find(known.begin(), known.end(), abbrev) == known.end()) {
+      std::string names;
+      for (const auto& k : known) names += (names.empty() ? "" : ",") + k;
+      return usage_error(err,
+                         "unknown kernel '" + abbrev + "' (known: " + names +
+                             ")");
+    }
+  }
+
+  err << "[fpr] running " << selection.size() << " kernel(s) at scale "
+      << opt.scale << ", " << opt.repeats << " repeat(s)\n";
+  // In CSV mode stdout must stay machine-parsable: section headings are
+  // diagnostics and move to the error stream.
+  std::ostream& heading = opt.csv ? err : out;
+
+  kernels::RunConfig rc;
+  rc.scale = opt.scale;
+  rc.threads = opt.threads;
+  rc.seed = opt.seed;
+
+  TextTable opmix({"Kernel", "FP64[Gop]", "FP32[Gop]", "INT[Gop]", "FP64%",
+                   "FP32%", "INT%", "Moved[GB]", "Assay[s]", "Verified"});
+  TextTable search({"Kernel", "Threads tried (t:sec)", "Best threads",
+                    "Best[s]"});
+  TextTable projection({"Kernel", "Machine", "Bound", "t2sol[s]", "Gflop/s",
+                        "%peak", "Mem[GB/s]", "AI[f/B]", "Roof[Gflop/s]",
+                        "Side"});
+  for (const auto& abbrev : selection) {
+    const auto kernel = kernels::make(abbrev);
+    if (opt.auto_threads) {
+      const auto choice =
+          study::find_best_parallelism(*kernel, opt.scale, opt.repeats);
+      std::string tried;
+      for (const auto& [t, s] : choice.tried) {
+        if (!tried.empty()) tried += ' ';
+        tried += std::to_string(t);
+        tried += ':';
+        tried += fmt_double(s, 4);
+      }
+      search.row()
+          .cell(abbrev)
+          .cell(tried)
+          .integer(choice.threads)
+          .num(choice.best_seconds, 4)
+          .done();
+      rc.threads = choice.threads;
+    }
+    const auto run = study::performance_run(*kernel, rc, opt.repeats);
+    add_opmix_row(opmix, run.best_meas);
+    add_projection_rows(projection, abbrev, run.best_meas);
+  }
+
+  if (opt.auto_threads) {
+    heading << "Parallelism search (methodology step 2):\n";
+    print(search, opt.csv, out);
+  }
+
+  heading << "Operation mix (paper-scale counts, fastest of " << opt.repeats
+          << " run(s)):\n";
+  print(opmix, opt.csv, out);
+  heading << "Machine projection + roofline placement:\n";
+  print(projection, opt.csv, out);
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) return usage_error(err, "missing command");
+  const std::string& command = args[0];
+  if (command == "help" || command == "--help" || command == "-h") {
+    out << kUsage;
+    return 0;
+  }
+
+  RunOptions opt;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("option " + arg + " needs a value");
+      }
+      return args[++i];
+    };
+    // Numeric parse wrapper: std::sto* exceptions carry messages like
+    // "stod"; rethrow with the offending option and text instead.
+    auto number = [&](auto parse) {
+      const std::string& text = value();
+      try {
+        return parse(text);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("invalid value '" + text + "' for " +
+                                    arg);
+      }
+    };
+    try {
+      if (arg == "--csv") {
+        opt.csv = true;
+      } else if (arg == "--auto-threads") {
+        opt.auto_threads = true;
+      } else if (arg == "--kernel" || arg == "--kernels") {
+        auto parts = split_csv(value());
+        if (parts.empty()) {
+          return usage_error(err, arg + " needs at least one abbreviation");
+        }
+        for (auto& k : parts) opt.kernels.push_back(std::move(k));
+      } else if (arg == "--scale") {
+        opt.scale = number([](const std::string& t) { return std::stod(t); });
+        if (opt.scale <= 0.0) {
+          return usage_error(err, "--scale must be > 0");
+        }
+      } else if (arg == "--threads") {
+        // stoul wraps negatives instead of throwing; reject them up
+        // front, and cap the count before kernels size per-worker state
+        // from it.
+        opt.threads = number([](const std::string& t) {
+          if (t.find('-') != std::string::npos) throw std::invalid_argument(t);
+          const unsigned long v = std::stoul(t);
+          if (v > 4096) throw std::invalid_argument(t);
+          return static_cast<unsigned>(v);
+        });
+      } else if (arg == "--repeats") {
+        opt.repeats =
+            number([](const std::string& t) { return std::stoi(t); });
+        if (opt.repeats < 1) {
+          return usage_error(err, "--repeats must be >= 1");
+        }
+      } else if (arg == "--seed") {
+        opt.seed =
+            number([](const std::string& t) { return std::stoull(t); });
+      } else {
+        return usage_error(err, "unknown option '" + arg + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      return usage_error(err, e.what());
+    }
+  }
+
+  try {
+    if (command == "list") return cmd_list(opt.csv, out);
+    if (command == "tables") return cmd_tables(opt.csv, out);
+    if (command == "run") return cmd_run(opt, out, err);
+  } catch (const std::exception& e) {
+    err << "fpr: error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage_error(err, "unknown command '" + command + "'");
+}
+
+}  // namespace fpr::cli

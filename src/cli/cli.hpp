@@ -1,0 +1,26 @@
+// The `fpr` suite-runner: one driveable entry point over the whole
+// reproduction. Subcommands:
+//
+//   fpr list                      all registered proxy kernels (Table II)
+//   fpr tables                    the static paper tables (I, II, III)
+//   fpr run --kernel A,B ...      run a subset: op-mix assay + per-machine
+//                                 model projection + roofline placement
+//
+// The command core is a library function taking explicit streams so the
+// CLI is testable without spawning processes; src/cli/main.cpp is the
+// only piece that touches argv/std::cout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fpr::cli {
+
+/// Execute the `fpr` command line. `args` excludes the program name.
+/// Normal output goes to `out`, diagnostics/usage errors to `err`.
+/// Returns the process exit code (0 ok, 2 usage error, 1 runtime error).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace fpr::cli

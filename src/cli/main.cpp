@@ -1,0 +1,12 @@
+// `fpr` executable entry point: argv marshalling only; all behaviour
+// lives in cli.cpp so the test suite can drive it in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return fpr::cli::run_cli(args, std::cout, std::cerr);
+}

@@ -5,15 +5,26 @@
 
 namespace fpr::study {
 
+std::vector<unsigned> parallelism_ladder(unsigned hw_threads) {
+  const unsigned hw = std::max(1u, hw_threads);
+  // Candidate ladder: 1, hw/4, hw/2, hw, 2*hw (over-subscription). On
+  // small hosts (hw <= 2) these collapse to fewer than three distinct
+  // counts, so pad with fixed small counts before deduplicating.
+  std::vector<unsigned> candidates{1,  std::max(1u, hw / 4),
+                                   std::max(1u, hw / 2),
+                                   hw, 2 * hw,
+                                   2,  4};
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
 ParallelismChoice find_best_parallelism(const kernels::ProxyKernel& k,
                                         double scale, int repeats) {
   ParallelismChoice choice;
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  // Candidate ladder: 1, hw/4, hw/2, hw, 2*hw (over-subscription).
-  std::vector<unsigned> candidates{1, std::max(1u, hw / 4),
-                                   std::max(1u, hw / 2), hw, 2 * hw};
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
+  const auto candidates =
+      parallelism_ladder(std::thread::hardware_concurrency());
 
   choice.best_seconds = -1.0;
   for (unsigned t : candidates) {

@@ -19,6 +19,14 @@ struct ParallelismChoice {
   std::vector<std::pair<unsigned, double>> tried;  ///< (threads, seconds)
 };
 
+/// Candidate worker counts for the step-2 search on a host with
+/// `hw_threads` hardware threads: {1, hw/4, hw/2, hw, 2*hw} padded with
+/// {1, 2, 4}, sorted and deduplicated. The padding guarantees at least
+/// three distinct candidates even when hw_threads <= 2 would collapse
+/// the ladder (the search must always compare under- and
+/// over-subscription against the serial baseline).
+std::vector<unsigned> parallelism_ladder(unsigned hw_threads);
+
 /// Step 2: try several worker counts (including over-/under-subscription
 /// relative to the host) and pick the best time-to-solution. `repeats`
 /// runs per configuration, keeping the fastest (3 in the paper).

@@ -1,0 +1,133 @@
+// Tests for the `fpr` suite-runner command core: command dispatch,
+// option parsing/validation, and the list/run report contents. Driven
+// in-process through run_cli so no child processes are needed.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "kernels/kernel.hpp"
+
+namespace fpr::cli {
+namespace {
+
+struct CliOutcome {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliOutcome run(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  CliOutcome r;
+  r.code = run_cli(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+TEST(Cli, NoCommandIsUsageError) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage: fpr"), std::string::npos);
+  EXPECT_TRUE(r.out.empty());
+}
+
+TEST(Cli, UnknownCommandIsUsageError) {
+  const auto r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command 'frobnicate'"), std::string::npos);
+}
+
+TEST(Cli, HelpPrintsUsageOnStdout) {
+  const auto r = run({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage: fpr"), std::string::npos);
+  EXPECT_TRUE(r.err.empty());
+}
+
+TEST(Cli, ListShowsEveryRegisteredKernel) {
+  const auto r = run({"list"});
+  EXPECT_EQ(r.code, 0);
+  for (const auto& abbrev : kernels::all_abbrevs()) {
+    EXPECT_NE(r.out.find(abbrev), std::string::npos) << abbrev;
+  }
+}
+
+TEST(Cli, ListCsvIsMachineParsable) {
+  const auto r = run({"list", "--csv"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("Abbrev,Name,Suite"), std::string::npos);
+}
+
+TEST(Cli, TablesRenderStaticPaperTables) {
+  const auto r = run({"tables"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("Xeon Phi"), std::string::npos);
+}
+
+TEST(Cli, RunEmitsOpMixAndRooflineReport) {
+  const auto r = run({"run", "--kernel", "BABL2", "--scale", "0.15",
+                      "--repeats", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Operation mix"), std::string::npos);
+  EXPECT_NE(r.out.find("FP64[Gop]"), std::string::npos);
+  EXPECT_NE(r.out.find("Machine projection + roofline placement:"),
+            std::string::npos);
+  // All three paper machines appear in the projection table.
+  for (const char* machine : {"KNL", "KNM", "BDW"}) {
+    EXPECT_NE(r.out.find(machine), std::string::npos) << machine;
+  }
+}
+
+TEST(Cli, RunAutoThreadsReportsParallelismSearch) {
+  const auto r = run({"run", "--kernel", "BABL2", "--scale", "0.15",
+                      "--repeats", "1", "--auto-threads"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Parallelism search"), std::string::npos);
+  // The padded ladder always explores at least {1, 2, 4}, independent
+  // of the host's core count (the regression behind parallelism_ladder).
+  for (const char* candidate : {"1:", "2:", "4:"}) {
+    EXPECT_NE(r.out.find(candidate), std::string::npos) << candidate;
+  }
+}
+
+TEST(Cli, RunAcceptsCommaSeparatedSubset) {
+  const auto r = run({"run", "--kernel", "BABL2,MxIO", "--scale", "0.15",
+                      "--repeats", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("BABL2"), std::string::npos);
+  EXPECT_NE(r.out.find("MxIO"), std::string::npos);
+}
+
+TEST(Cli, RunCsvKeepsStdoutMachineParsable) {
+  const auto r = run({"run", "--kernel", "BABL2", "--scale", "0.15",
+                      "--repeats", "1", "--csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // Section headings are diagnostics: stderr only, never in the CSV.
+  EXPECT_EQ(r.out.find("Operation mix"), std::string::npos);
+  EXPECT_NE(r.err.find("Operation mix"), std::string::npos);
+  EXPECT_NE(r.out.find("Kernel,Machine,Bound"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsUnknownKernel) {
+  const auto r = run({"run", "--kernel", "NOPE"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown kernel 'NOPE'"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsBadOptionValues) {
+  EXPECT_EQ(run({"run", "--scale", "0"}).code, 2);
+  EXPECT_EQ(run({"run", "--scale", "banana"}).code, 2);
+  EXPECT_EQ(run({"run", "--repeats", "0"}).code, 2);
+  EXPECT_EQ(run({"run", "--kernel"}).code, 2);   // missing value
+  EXPECT_EQ(run({"run", "--kernel", ","}).code, 2);  // empty list
+  EXPECT_EQ(run({"run", "--threads", "-1"}).code, 2);
+  EXPECT_EQ(run({"run", "--threads", "99999999999999999999"}).code, 2);
+  EXPECT_EQ(run({"run", "--wat"}).code, 2);
+}
+
+}  // namespace
+}  // namespace fpr::cli

@@ -212,7 +212,9 @@ TEST(ThreadPool, SingleWorkerRunsInline) {
 TEST(WallTimer, MeasuresElapsed) {
   WallTimer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  // Plain assignment: compound assignment on volatile is deprecated in
+  // C++20 (-Wvolatile).
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(t.seconds(), 0.0);
   (void)sink;
 }

@@ -2,6 +2,7 @@
 // paper data, and the Fig. 7 domain analysis.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "study/domain_util.hpp"
@@ -44,7 +45,7 @@ TEST_F(StudyTest, EveryKernelHasThreeMachines) {
     EXPECT_EQ(k.machines[0].cpu.short_name, "KNL");
     EXPECT_EQ(k.machines[1].cpu.short_name, "KNM");
     EXPECT_EQ(k.machines[2].cpu.short_name, "BDW");
-    EXPECT_THROW(k.on("XXX"), std::invalid_argument);
+    EXPECT_THROW((void)k.on("XXX"), std::invalid_argument);
   }
 }
 
@@ -155,6 +156,33 @@ TEST(PaperData, DerivedSpeedups) {
   EXPECT_GT(d.speedup_knl_vs_bdw(*nekb), 1.5);  // NekB likes the Phi
   const auto* ngsa = paper_row("NGSA");
   EXPECT_LT(d.speedup_knl_vs_bdw(*ngsa), 0.2);  // NGSA collapses
+}
+
+TEST(Methodology, LadderHasThreeCandidatesOnSmallHosts) {
+  // Regression: on hosts with hardware_concurrency() <= 2 the raw ladder
+  // {1, hw/4, hw/2, hw, 2*hw} collapses to two entries; the padded
+  // ladder must still offer >= 3 distinct candidates.
+  for (unsigned hw : {0u, 1u, 2u, 3u, 4u, 6u, 8u}) {
+    const auto ladder = parallelism_ladder(hw);
+    EXPECT_GE(ladder.size(), 3u) << "hw=" << hw;
+    EXPECT_TRUE(std::is_sorted(ladder.begin(), ladder.end())) << "hw=" << hw;
+    EXPECT_EQ(std::adjacent_find(ladder.begin(), ladder.end()), ladder.end())
+        << "hw=" << hw;
+    EXPECT_EQ(ladder.front(), 1u) << "hw=" << hw;
+    // Over-subscription point is always explored.
+    const unsigned over = 2 * std::max(1u, hw);
+    EXPECT_NE(std::find(ladder.begin(), ladder.end(), over), ladder.end())
+        << "hw=" << hw;
+  }
+}
+
+TEST(Methodology, LadderCoversWideHosts) {
+  const auto ladder = parallelism_ladder(64);
+  for (unsigned expected : {1u, 2u, 4u, 16u, 32u, 64u, 128u}) {
+    EXPECT_NE(std::find(ladder.begin(), ladder.end(), expected),
+              ladder.end())
+        << expected;
+  }
 }
 
 TEST(Methodology, FindsBestParallelism) {
