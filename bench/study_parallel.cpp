@@ -1,0 +1,120 @@
+// StudyEngine throughput bench: runs the same deterministic study at a
+// ladder of --jobs counts and reports the wall-clock speedup of the
+// parallel per-machine stages over the serial jobs=1 baseline, verifying
+// along the way that every jobs count produced byte-identical JSON (the
+// engine's core guarantee). On a >= 4-core host the ladder demonstrates
+// the >= 2x speedup this PR's acceptance criteria call for; on smaller
+// hosts it degenerates gracefully and says so.
+//
+//   ./build/study_parallel [--kernels A,B,...] [--scale S]
+//                          [--trace-refs N] [--jobs 1,2,4,8]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "io/study_json.hpp"
+#include "study/study_engine.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fpr;
+
+  study::StudyConfig cfg;
+  cfg.scale = 0.2;
+  cfg.threads = 1;  // keep kernel runs cheap; the machine stages dominate
+  cfg.trace_refs = 400'000;
+  cfg.canonical_timing = true;
+  cfg.kernels = {"AMG",  "HPL",  "XSBn", "BABL2", "MxIO",
+                 "NGSA", "NekB", "CoMD", "SW4L",  "MiFE"};
+  std::vector<unsigned> jobs_ladder = {1, 2, 4, 8};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "option " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--kernels") {
+      cfg.kernels = split_csv(value());
+    } else if (arg == "--scale") {
+      cfg.scale = std::stod(value());
+    } else if (arg == "--trace-refs") {
+      cfg.trace_refs = std::stoull(value());
+    } else if (arg == "--jobs") {
+      jobs_ladder.clear();
+      for (const auto& j : split_csv(value())) {
+        jobs_ladder.push_back(static_cast<unsigned>(std::stoul(j)));
+      }
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  if (jobs_ladder.empty() || jobs_ladder.front() != 1) {
+    jobs_ladder.insert(jobs_ladder.begin(), 1);
+  }
+
+  bench::header("StudyEngine parallel throughput",
+                "the Sec. III-A pipeline, parallelized");
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "host: " << hw << " hardware thread(s); "
+            << cfg.kernels.size() << " kernel(s), trace_refs="
+            << cfg.trace_refs << "\n\n";
+
+  TextTable table({"Jobs", "Wall[s]", "Speedup", "Identical"});
+  double base_seconds = 0.0;
+  std::string base_json;
+  for (const unsigned jobs : jobs_ladder) {
+    auto run_cfg = cfg;
+    run_cfg.jobs = jobs;
+    WallTimer timer;
+    study::StudyEngine engine(run_cfg);
+    const auto results = engine.run();
+    const double seconds = timer.seconds();
+    const std::string json = io::dump(io::to_json(results));
+    if (jobs == 1) {
+      base_seconds = seconds;
+      base_json = json;
+    }
+    table.row()
+        .integer(jobs)
+        .num(seconds, 3)
+        .num(base_seconds > 0 ? base_seconds / seconds : 1.0, 2)
+        .cell(json == base_json ? "yes" : "NO")
+        .done();
+    if (json != base_json) {
+      std::cerr << "[bench] DETERMINISM VIOLATION at jobs=" << jobs << "\n";
+      return 1;
+    }
+  }
+  table.print(std::cout);
+
+  if (hw < 4) {
+    std::cout << "\n(host has < 4 hardware threads; the >= 2x ladder "
+                 "needs a >= 4-core machine)\n";
+  }
+  return 0;
+}

@@ -6,15 +6,21 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
 #include "arch/machines.hpp"
 #include "common/table.hpp"
 #include "counters/op_tally.hpp"
+#include "io/study_json.hpp"
 #include "kernels/kernel.hpp"
 #include "model/exec_model.hpp"
 #include "model/memprofile.hpp"
 #include "model/roofline.hpp"
 #include "study/figures.hpp"
 #include "study/methodology.hpp"
+#include "study/study_engine.hpp"
 
 namespace fpr::cli {
 namespace {
@@ -26,18 +32,40 @@ constexpr const char* kUsage =
     "  list                 list all registered proxy kernels (Table II)\n"
     "  tables               print the static paper tables (I, II, III)\n"
     "  run [options]        run kernels: op-mix assay + machine projection\n"
+    "  study [options]      full pipeline (kernel run -> memsim -> model ->\n"
+    "                       freq sweep) on the parallel StudyEngine\n"
+    "  diff A.json B.json   compare two study results files metric by\n"
+    "                       metric (relative deltas)\n"
     "  help                 show this message\n"
     "\n"
-    "run options:\n"
+    "run/study options:\n"
     "  --kernel A[,B,...]   kernel abbreviations to run (default: all;\n"
     "                       repeatable, comma-separated)\n"
     "  --scale S            input scale multiplier, > 0 (default 0.3)\n"
     "  --threads N          worker threads, 0 = all hardware (default 0)\n"
-    "  --repeats R          trials per kernel, fastest kept (default 3)\n"
+    "  --repeats R          [run] trials per kernel, fastest kept (default 3)\n"
     "  --seed N             PRNG seed for synthetic inputs (default 42)\n"
-    "  --auto-threads       pick threads per kernel via the step-2\n"
+    "  --auto-threads       [run] pick threads per kernel via the step-2\n"
     "                       parallelism search (overrides --threads)\n"
-    "  --csv                emit CSV instead of aligned tables\n";
+    "  --csv                emit CSV instead of aligned tables\n"
+    "\n"
+    "study options:\n"
+    "  --jobs N             engine workers for the per-machine stages\n"
+    "                       (0 = all hardware, default 0; never changes\n"
+    "                       the results, only the wall time)\n"
+    "  --trace-refs N       cache-sim trace length (default 400000)\n"
+    "  --no-sweep           skip the Fig. 6 frequency sweep\n"
+    "  --timing             keep wall-clock host_seconds in the output\n"
+    "                       (default: zeroed so JSON is byte-stable)\n"
+    "  --out FILE           write results JSON to FILE ('-' = stdout,\n"
+    "                       suppressing the summary table)\n"
+    "  --golden             use the exact golden-snapshot configuration\n"
+    "                       (overrides kernel/scale/threads/seed/\n"
+    "                       trace-refs; rejects --timing/--no-sweep)\n"
+    "\n"
+    "diff options:\n"
+    "  --tolerance T        max relative delta accepted per metric\n"
+    "                       (default 0; exit 1 if any metric exceeds it)\n";
 
 struct RunOptions {
   std::vector<std::string> kernels;  // empty = all, in paper order
@@ -47,6 +75,17 @@ struct RunOptions {
   std::uint64_t seed = 42;
   bool auto_threads = false;
   bool csv = false;
+  // study
+  unsigned jobs = 0;  // 0 = all hardware
+  std::uint64_t trace_refs = 400'000;
+  bool no_sweep = false;
+  bool timing = false;
+  bool golden = false;
+  std::string out;  // results JSON destination; "-" = stdout
+  // diff
+  double tolerance = 0.0;
+  // non-option arguments (diff's two file paths)
+  std::vector<std::string> positional;
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -143,18 +182,27 @@ void add_projection_rows(TextTable& t, const std::string& abbrev,
   }
 }
 
-int cmd_run(const RunOptions& opt, std::ostream& out, std::ostream& err) {
+/// Validate a kernel selection against the registry; returns the full
+/// list when `requested` is empty. Sets `bad` on unknown abbreviations.
+std::vector<std::string> resolve_kernels(
+    const std::vector<std::string>& requested, std::string& bad) {
   const auto known = kernels::all_abbrevs();
-  auto selection = opt.kernels.empty() ? known : opt.kernels;
+  auto selection = requested.empty() ? known : requested;
   for (const auto& abbrev : selection) {
     if (std::find(known.begin(), known.end(), abbrev) == known.end()) {
       std::string names;
       for (const auto& k : known) names += (names.empty() ? "" : ",") + k;
-      return usage_error(err,
-                         "unknown kernel '" + abbrev + "' (known: " + names +
-                             ")");
+      bad = "unknown kernel '" + abbrev + "' (known: " + names + ")";
+      break;
     }
   }
+  return selection;
+}
+
+int cmd_run(const RunOptions& opt, std::ostream& out, std::ostream& err) {
+  std::string bad;
+  const auto selection = resolve_kernels(opt.kernels, bad);
+  if (!bad.empty()) return usage_error(err, bad);
 
   err << "[fpr] running " << selection.size() << " kernel(s) at scale "
       << opt.scale << ", " << opt.repeats << " repeat(s)\n";
@@ -210,6 +258,276 @@ int cmd_run(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   heading << "Machine projection + roofline placement:\n";
   print(projection, opt.csv, out);
   return 0;
+}
+
+int cmd_study(const RunOptions& opt, std::ostream& out, std::ostream& err) {
+  study::StudyConfig cfg;
+  if (opt.golden) {
+    if (opt.timing || opt.no_sweep) {
+      return usage_error(
+          err, "--golden fixes the snapshot configuration and cannot be "
+               "combined with --timing or --no-sweep");
+    }
+    cfg = study::golden_config();
+  } else {
+    std::string bad;
+    cfg.kernels = resolve_kernels(opt.kernels, bad);
+    if (!bad.empty()) return usage_error(err, bad);
+    cfg.scale = opt.scale;
+    cfg.threads = opt.threads;
+    cfg.seed = opt.seed;
+    cfg.trace_refs = opt.trace_refs;
+    cfg.freq_sweep = !opt.no_sweep;
+    cfg.canonical_timing = !opt.timing;
+  }
+  // Job count never changes the results, so it stays user-controlled
+  // even under --golden.
+  cfg.jobs = opt.jobs;
+
+  err << "[fpr] study: " << cfg.kernels.size() << " kernel(s) at scale "
+      << cfg.scale << ", jobs=" << cfg.jobs << " (0 = all hardware)\n";
+
+  study::StudyEngine engine(cfg);
+  const auto results = engine.run();
+  const bool json_to_stdout = opt.out == "-";
+  std::ostream& heading = (opt.csv || json_to_stdout) ? err : out;
+
+  if (!json_to_stdout) {
+    TextTable summary({"Kernel", "Machine", "Bound", "t2sol[s]", "Gflop/s",
+                       "%peak", "Mem[GB/s]"});
+    for (const auto& k : results.kernels) {
+      for (const auto& m : k.machines) {
+        summary.row()
+            .cell(k.info.abbrev)
+            .cell(m.cpu.short_name)
+            .cell(std::string(model::to_string(m.perf.bound)))
+            .num(m.perf.seconds, 3)
+            .num(m.perf.gflops, 1)
+            .num(m.perf.pct_of_peak, 1)
+            .num(m.perf.mem_throughput_gbs, 1)
+            .done();
+      }
+    }
+    heading << "Study summary (" << engine.stats().kernel_runs
+            << " kernel run(s), " << engine.stats().machine_evals
+            << " machine eval(s)):\n";
+    print(summary, opt.csv, out);
+  }
+
+  if (!opt.out.empty()) {
+    const auto doc = io::to_json(results);
+    if (json_to_stdout) {
+      out << io::dump(doc) << "\n";
+    } else {
+      io::save_file(opt.out, doc);
+      err << "[fpr] wrote " << opt.out << "\n";
+    }
+  }
+  return 0;
+}
+
+/// Formats diff values across the wildly varying metric magnitudes.
+std::string fmt_g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Accumulates per-metric comparisons between two results files.
+class DiffReport {
+ public:
+  explicit DiffReport(double tolerance) : tolerance_(tolerance) {}
+
+  void metric(const std::string& kernel, const std::string& machine,
+              const std::string& name, double a, double b) {
+    ++compared_;
+    // Non-finite values never hide behind NaN comparisons: NaN-vs-NaN
+    // and equal infinities count as identical, anything else is an
+    // infinite delta that fails every tolerance.
+    double delta;
+    if (std::isnan(a) || std::isnan(b)) {
+      delta = std::isnan(a) && std::isnan(b)
+                  ? 0.0
+                  : std::numeric_limits<double>::infinity();
+    } else if (std::isinf(a) || std::isinf(b)) {
+      delta = a == b ? 0.0 : std::numeric_limits<double>::infinity();
+    } else {
+      const double denom = std::max(std::abs(a), std::abs(b));
+      delta = denom == 0.0 ? 0.0 : std::abs(a - b) / denom;
+    }
+    max_delta_ = std::max(max_delta_, delta);
+    if (delta > tolerance_) {
+      ++exceeding_;
+      table_.row()
+          .cell(kernel)
+          .cell(machine)
+          .cell(name)
+          .cell(fmt_g(a))
+          .cell(fmt_g(b))
+          .cell(fmt_g(delta))
+          .done();
+    }
+  }
+
+  void mismatch(const std::string& kernel, const std::string& machine,
+                const std::string& name, const std::string& a,
+                const std::string& b) {
+    ++compared_;
+    if (a == b) return;
+    ++exceeding_;
+    table_.row()
+        .cell(kernel)
+        .cell(machine)
+        .cell(name)
+        .cell(a)
+        .cell(b)
+        .cell("-")
+        .done();
+  }
+
+  [[nodiscard]] bool ok() const { return exceeding_ == 0; }
+  [[nodiscard]] const TextTable& table() const { return table_; }
+  [[nodiscard]] std::size_t compared() const { return compared_; }
+  [[nodiscard]] std::size_t exceeding() const { return exceeding_; }
+  [[nodiscard]] double max_delta() const { return max_delta_; }
+
+ private:
+  double tolerance_;
+  TextTable table_{{"Kernel", "Machine", "Metric", "A", "B", "RelDelta"}};
+  std::size_t compared_ = 0;
+  std::size_t exceeding_ = 0;
+  double max_delta_ = 0.0;
+};
+
+void diff_machine(DiffReport& d, const std::string& kernel,
+                  const study::MachineResult& a,
+                  const study::MachineResult& b) {
+  const std::string& mc = a.cpu.short_name;
+  d.mismatch(kernel, mc, "bound", std::string(model::to_string(a.perf.bound)),
+             std::string(model::to_string(b.perf.bound)));
+  d.metric(kernel, mc, "t2sol", a.perf.seconds, b.perf.seconds);
+  d.metric(kernel, mc, "gflops", a.perf.gflops, b.perf.gflops);
+  d.metric(kernel, mc, "pct_of_peak", a.perf.pct_of_peak, b.perf.pct_of_peak);
+  d.metric(kernel, mc, "mem_throughput_gbs", a.perf.mem_throughput_gbs,
+           b.perf.mem_throughput_gbs);
+  d.metric(kernel, mc, "power_w", a.perf.power_w, b.perf.power_w);
+  d.metric(kernel, mc, "l2_hit", a.mem.l2_hit, b.mem.l2_hit);
+  d.metric(kernel, mc, "llc_hit", a.mem.llc_hit, b.mem.llc_hit);
+  d.metric(kernel, mc, "offchip_fraction", a.mem.offchip_fraction,
+           b.mem.offchip_fraction);
+  d.metric(kernel, mc, "offchip_bytes", a.mem.offchip_bytes,
+           b.mem.offchip_bytes);
+  d.metric(kernel, mc, "dram_bytes", a.mem.dram_bytes, b.mem.dram_bytes);
+  d.metric(kernel, mc, "mcdram_capture", a.mem.mcdram_capture,
+           b.mem.mcdram_capture);
+  d.metric(kernel, mc, "effective_bw_gbs", a.mem.effective_bw_gbs,
+           b.mem.effective_bw_gbs);
+  d.metric(kernel, mc, "latency_ns", a.mem.latency_ns, b.mem.latency_ns);
+  d.metric(kernel, mc, "dep_refs", a.mem.dep_refs, b.mem.dep_refs);
+  if (a.freq_sweep.size() != b.freq_sweep.size()) {
+    d.mismatch(kernel, mc, "freq_sweep.points",
+               std::to_string(a.freq_sweep.size()),
+               std::to_string(b.freq_sweep.size()));
+    return;
+  }
+  for (std::size_t i = 0; i < a.freq_sweep.size(); ++i) {
+    const auto& [fsa, eva] = a.freq_sweep[i];
+    const auto& [fsb, evb] = b.freq_sweep[i];
+    const std::string name = "t2sol@" + fmt_double(fsa.ghz, 2) + "GHz" +
+                             (fsa.turbo ? "+TB" : "");
+    if (fsa.ghz != fsb.ghz || fsa.turbo != fsb.turbo) {
+      // Encode the turbo flag too, so a turbo-only mismatch still
+      // produces unequal strings (and therefore a reported row).
+      d.mismatch(kernel, mc, name,
+                 fmt_g(fsa.ghz) + (fsa.turbo ? "+TB" : ""),
+                 fmt_g(fsb.ghz) + (fsb.turbo ? "+TB" : ""));
+      continue;
+    }
+    d.metric(kernel, mc, name, eva.seconds, evb.seconds);
+  }
+}
+
+void diff_kernel(DiffReport& d, const study::KernelResult& a,
+                 const study::KernelResult& b) {
+  const std::string& kn = a.info.abbrev;
+  d.metric(kn, "-", "ops.fp64", static_cast<double>(a.meas.ops.fp64),
+           static_cast<double>(b.meas.ops.fp64));
+  d.metric(kn, "-", "ops.fp32", static_cast<double>(a.meas.ops.fp32),
+           static_cast<double>(b.meas.ops.fp32));
+  d.metric(kn, "-", "ops.int", static_cast<double>(a.meas.ops.int_ops),
+           static_cast<double>(b.meas.ops.int_ops));
+  d.metric(kn, "-", "bytes_read", static_cast<double>(a.meas.ops.bytes_read),
+           static_cast<double>(b.meas.ops.bytes_read));
+  d.metric(kn, "-", "bytes_written",
+           static_cast<double>(a.meas.ops.bytes_written),
+           static_cast<double>(b.meas.ops.bytes_written));
+  d.metric(kn, "-", "ops.branches", static_cast<double>(a.meas.ops.branches),
+           static_cast<double>(b.meas.ops.branches));
+  d.metric(kn, "-", "working_set_bytes",
+           static_cast<double>(a.meas.working_set_bytes),
+           static_cast<double>(b.meas.working_set_bytes));
+  d.metric(kn, "-", "checksum", a.meas.checksum, b.meas.checksum);
+
+  for (const auto& ma : a.machines) {
+    const study::MachineResult* mb = nullptr;
+    for (const auto& m : b.machines) {
+      if (m.cpu.short_name == ma.cpu.short_name) {
+        mb = &m;
+        break;
+      }
+    }
+    if (mb == nullptr) {
+      d.mismatch(kn, ma.cpu.short_name, "machine", "present", "missing");
+      continue;
+    }
+    diff_machine(d, kn, ma, *mb);
+  }
+  for (const auto& mb : b.machines) {
+    bool in_a = false;
+    for (const auto& ma : a.machines) {
+      if (ma.cpu.short_name == mb.cpu.short_name) {
+        in_a = true;
+        break;
+      }
+    }
+    if (!in_a) d.mismatch(kn, mb.cpu.short_name, "machine", "missing",
+                          "present");
+  }
+}
+
+int cmd_diff(const RunOptions& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional.size() != 2) {
+    return usage_error(err, "diff needs exactly two results files");
+  }
+  const auto ra = io::study_from_json(io::load_file(opt.positional[0]));
+  const auto rb = io::study_from_json(io::load_file(opt.positional[1]));
+
+  DiffReport d(opt.tolerance);
+  for (const auto& ka : ra.kernels) {
+    const auto* kb = rb.find(ka.info.abbrev);
+    if (kb == nullptr) {
+      d.mismatch(ka.info.abbrev, "-", "kernel", "present", "missing");
+      continue;
+    }
+    diff_kernel(d, ka, *kb);
+  }
+  for (const auto& kb : rb.kernels) {
+    if (ra.find(kb.info.abbrev) == nullptr) {
+      d.mismatch(kb.info.abbrev, "-", "kernel", "missing", "present");
+    }
+  }
+
+  std::ostream& heading = opt.csv ? err : out;
+  if (!d.ok()) {
+    heading << "Metrics exceeding tolerance " << fmt_g(opt.tolerance)
+            << ":\n";
+    print(d.table(), opt.csv, out);
+  }
+  heading << (d.ok() ? "OK: " : "FAIL: ") << d.compared()
+          << " metric(s) compared, " << d.exceeding()
+          << " exceeding tolerance " << fmt_g(opt.tolerance)
+          << " (max relative delta " << fmt_g(d.max_delta()) << ")\n";
+  return d.ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -278,18 +596,58 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       } else if (arg == "--seed") {
         opt.seed =
             number([](const std::string& t) { return std::stoull(t); });
-      } else {
+      } else if (arg == "--jobs") {
+        opt.jobs = number([](const std::string& t) {
+          if (t.find('-') != std::string::npos) throw std::invalid_argument(t);
+          const unsigned long v = std::stoul(t);
+          if (v > 4096) throw std::invalid_argument(t);
+          return static_cast<unsigned>(v);
+        });
+      } else if (arg == "--trace-refs") {
+        opt.trace_refs =
+            number([](const std::string& t) { return std::stoull(t); });
+        if (opt.trace_refs == 0) {
+          return usage_error(err, "--trace-refs must be > 0");
+        }
+      } else if (arg == "--no-sweep") {
+        opt.no_sweep = true;
+      } else if (arg == "--timing") {
+        opt.timing = true;
+      } else if (arg == "--golden") {
+        opt.golden = true;
+      } else if (arg == "--out") {
+        opt.out = value();
+        if (opt.out.empty()) {
+          return usage_error(err, "--out needs a non-empty path");
+        }
+      } else if (arg == "--tolerance") {
+        opt.tolerance =
+            number([](const std::string& t) { return std::stod(t); });
+        if (opt.tolerance < 0.0 || !std::isfinite(opt.tolerance)) {
+          return usage_error(err, "--tolerance must be >= 0");
+        }
+      } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
         return usage_error(err, "unknown option '" + arg + "'");
+      } else {
+        opt.positional.push_back(arg);
       }
     } catch (const std::invalid_argument& e) {
       return usage_error(err, e.what());
     }
   }
 
+  // Only diff takes non-option arguments (its two input files).
+  if (command != "diff" && !opt.positional.empty()) {
+    return usage_error(err,
+                       "unexpected argument '" + opt.positional.front() + "'");
+  }
+
   try {
     if (command == "list") return cmd_list(opt.csv, out);
     if (command == "tables") return cmd_tables(opt.csv, out);
     if (command == "run") return cmd_run(opt, out, err);
+    if (command == "study") return cmd_study(opt, out, err);
+    if (command == "diff") return cmd_diff(opt, out, err);
   } catch (const std::exception& e) {
     err << "fpr: error: " << e.what() << "\n";
     return 1;

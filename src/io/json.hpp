@@ -1,0 +1,142 @@
+// Dependency-free JSON for the study-results serialization layer.
+//
+// The value model keeps integers (int64/uint64) apart from doubles so
+// operation counts round-trip exactly, and objects preserve insertion
+// order so serialization is deterministic: the same StudyResults always
+// produce the same bytes, which is what makes `fpr study --out` output
+// diffable and the golden snapshot byte-stable across --jobs counts.
+//
+// JSON has no NaN/Infinity literals; the writer emits them as the
+// strings "NaN" / "Infinity" / "-Infinity" and as_number() accepts those
+// spellings back, so serialize -> parse -> serialize is a fixed point
+// for every representable value.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace fpr::io {
+
+/// Parse/access failure; the message carries 1-based line:column for
+/// parse errors and the offending key/type for access errors.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value list (deterministic dump order).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(std::int64_t i) : v_(i) {}
+  Json(std::uint64_t u) : v_(u) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned u) : v_(static_cast<std::uint64_t>(u)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_) ||
+           std::holds_alternative<std::int64_t>(v_) ||
+           std::holds_alternative<std::uint64_t>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  /// Stored numeric representation (writer/diff need exactness info).
+  [[nodiscard]] bool is_i64() const {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_u64() const {
+    return std::holds_alternative<std::uint64_t>(v_);
+  }
+  [[nodiscard]] bool is_double() const {
+    return std::holds_alternative<double>(v_);
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  /// Numeric value. Also accepts the string spellings "NaN", "Infinity"
+  /// and "-Infinity" (how the writer encodes non-finite doubles).
+  [[nodiscard]] double as_number() const;
+  /// Exact unsigned value; throws on negatives, fractions, or doubles
+  /// beyond 2^53 (where exactness is no longer guaranteed).
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object: set `key` (replacing an existing entry in place, else
+  /// appending). Returns *this for chaining.
+  Json& set(std::string key, Json value);
+  /// Object: entry pointer or nullptr.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Object: entry reference; throws JsonError naming the missing key.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  /// Array: append an element. Returns *this for chaining.
+  Json& push(Json value);
+
+  /// Raw alternative access (valid only when the matching is_* holds).
+  [[nodiscard]] std::int64_t raw_i64() const {
+    return std::get<std::int64_t>(v_);
+  }
+  [[nodiscard]] std::uint64_t raw_u64() const {
+    return std::get<std::uint64_t>(v_);
+  }
+  [[nodiscard]] double raw_double() const { return std::get<double>(v_); }
+
+ private:
+  [[noreturn]] void type_error(const char* wanted) const;
+  [[nodiscard]] const char* type_name() const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      v_;
+};
+
+/// Serialize deterministically: two-space indent, insertion-order keys,
+/// shortest-round-trip doubles, non-finite doubles as strings.
+std::string dump(const Json& v);
+
+/// Parse strict JSON (UTF-8, \uXXXX escapes incl. surrogate pairs, no
+/// trailing commas or comments). Throws JsonError with line:column.
+Json parse(std::string_view text);
+
+/// Read and parse a file; throws JsonError on I/O or parse failure.
+Json load_file(const std::string& path);
+
+/// dump() plus a trailing newline, written atomically-ish (truncate +
+/// write). Throws JsonError on I/O failure.
+void save_file(const std::string& path, const Json& v);
+
+}  // namespace fpr::io

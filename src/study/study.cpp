@@ -1,7 +1,8 @@
 #include "study/study.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+
+#include "study/study_engine.hpp"
 
 namespace fpr::study {
 
@@ -21,40 +22,10 @@ const KernelResult* StudyResults::find(std::string_view abbrev) const {
 }
 
 StudyResults run_study(const StudyConfig& cfg) {
-  StudyResults results;
-  const auto machines = arch::all_machines();
-
-  for (auto& kernel : kernels::make_all()) {
-    const auto& info = kernel->info();
-    if (!cfg.kernels.empty() &&
-        std::find(cfg.kernels.begin(), cfg.kernels.end(), info.abbrev) ==
-            cfg.kernels.end()) {
-      continue;
-    }
-
-    kernels::RunConfig rc;
-    rc.scale = cfg.scale;
-    rc.threads = cfg.threads;
-    KernelResult kr;
-    kr.info = info;
-    kr.meas = kernel->run(rc);  // throws if verification fails (step 4)
-
-    for (const auto& cpu : machines) {
-      MachineResult mr;
-      mr.cpu = cpu;
-      mr.mem = model::profile_memory(cpu, kr.meas, cfg.trace_refs);
-      mr.perf = model::evaluate_at_turbo(cpu, kr.meas, mr.mem);
-      if (cfg.freq_sweep) {
-        for (const auto& fs : cpu.frequency_sweep()) {
-          mr.freq_sweep.emplace_back(
-              fs, model::evaluate(cpu, fs.ghz, kr.meas, mr.mem));
-        }
-      }
-      kr.machines.push_back(std::move(mr));
-    }
-    results.kernels.push_back(std::move(kr));
-  }
-  return results;
+  // The engine hoists each kernel's single instrumented run above the
+  // per-machine stages, so re-profiling a measurement for KNL/KNM/BDW
+  // can never re-execute (or re-seed) the kernel itself.
+  return StudyEngine(cfg).run();
 }
 
 }  // namespace fpr::study

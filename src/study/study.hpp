@@ -38,6 +38,17 @@ struct StudyConfig {
   std::uint64_t trace_refs = 400'000;  ///< cache-sim trace length
   /// Subset of kernel abbreviations to run (empty = all).
   std::vector<std::string> kernels;
+  /// PRNG seed for the kernels' synthetic inputs (fixed => repeatable).
+  std::uint64_t seed = 42;
+  /// Engine workers for the per-machine (memsim + model + freq sweep)
+  /// stages (0 = hardware concurrency). The kernel-run stage is always
+  /// serial — kernels share the global pool and the process-wide op
+  /// tallies — so `jobs` never changes the results, only the wall time.
+  unsigned jobs = 1;
+  /// Zero out the wall-clock field (host_seconds) of every measurement.
+  /// This makes serialized results byte-stable across runs and jobs
+  /// counts — the mode `fpr study` and the golden snapshot use.
+  bool canonical_timing = false;
 };
 
 struct StudyResults {
@@ -46,8 +57,9 @@ struct StudyResults {
   [[nodiscard]] const KernelResult* find(std::string_view abbrev) const;
 };
 
-/// Run the full pipeline. Kernels that fail verification abort the study
-/// with the kernel's exception (the paper's step 4: anomalies restart).
+/// Run the full pipeline (thin wrapper over StudyEngine, which see).
+/// Kernels that fail verification abort the study with the kernel's
+/// exception (the paper's step 4: anomalies restart).
 StudyResults run_study(const StudyConfig& cfg = {});
 
 }  // namespace fpr::study

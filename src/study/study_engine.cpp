@@ -1,0 +1,169 @@
+#include "study/study_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "arch/machines.hpp"
+#include "common/thread_pool.hpp"
+#include "model/exec_model.hpp"
+#include "model/memprofile.hpp"
+
+namespace fpr::study {
+
+StudyEngine::StudyEngine(StudyConfig cfg, KernelFactory factory)
+    : cfg_(std::move(cfg)), factory_(std::move(factory)) {}
+
+StudyResults StudyEngine::run() {
+  const auto machines = arch::all_machines();
+  auto all = factory_ ? factory_() : kernels::make_all();
+
+  // Selection in factory (paper) order; result slots are fixed up front
+  // so completion order never influences output order.
+  std::vector<std::unique_ptr<kernels::ProxyKernel>> selected;
+  for (auto& k : all) {
+    const auto& abbrev = k->info().abbrev;
+    if (cfg_.kernels.empty() ||
+        std::find(cfg_.kernels.begin(), cfg_.kernels.end(), abbrev) !=
+            cfg_.kernels.end()) {
+      selected.push_back(std::move(k));
+    }
+  }
+
+  StudyResults results;
+  results.kernels.resize(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    results.kernels[i].info = selected[i]->info();
+    results.kernels[i].machines.resize(machines.size());
+  }
+
+  const unsigned jobs = std::max(
+      1u, cfg_.jobs != 0 ? cfg_.jobs : std::thread::hardware_concurrency());
+
+  // Scheduler state: the producer (engine worker 0) runs kernels
+  // serially and enqueues their (kernel, machine) stages; every worker
+  // (producer included, once it runs dry) drains the queue.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::pair<std::size_t, std::size_t>> ready;
+  bool produced_all = false;
+  bool aborted = false;
+  std::exception_ptr error;
+  std::atomic<std::uint64_t> machine_evals{0};
+  std::uint64_t kernel_runs = 0;  // producer-only, no sharing
+
+  auto abort_with = [&](std::exception_ptr e) {
+    std::lock_guard lock(mu);
+    aborted = true;
+    if (!error) error = std::move(e);
+    cv.notify_all();
+  };
+
+  auto machine_stage = [&](std::size_t ki, std::size_t mi) {
+    KernelResult& kr = results.kernels[ki];
+    MachineResult& mr = kr.machines[mi];
+    const arch::CpuSpec& cpu = machines[mi];
+    mr.cpu = cpu;
+    mr.mem = model::profile_memory(cpu, kr.meas, cfg_.trace_refs);
+    mr.perf = model::evaluate_at_turbo(cpu, kr.meas, mr.mem);
+    if (cfg_.freq_sweep) {
+      for (const auto& fs : cpu.frequency_sweep()) {
+        mr.freq_sweep.emplace_back(
+            fs, model::evaluate(cpu, fs.ghz, kr.meas, mr.mem));
+      }
+    }
+    machine_evals.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  auto produce = [&] {
+    for (std::size_t ki = 0; ki < selected.size(); ++ki) {
+      {
+        std::lock_guard lock(mu);
+        if (aborted) break;
+      }
+      kernels::RunConfig rc;
+      rc.scale = cfg_.scale;
+      rc.threads = cfg_.threads;
+      rc.seed = cfg_.seed;
+      try {
+        auto meas = selected[ki]->run(rc);  // throws on failed verification
+        ++kernel_runs;
+        if (cfg_.canonical_timing) meas.host_seconds = 0.0;
+        results.kernels[ki].meas = std::move(meas);
+      } catch (...) {
+        abort_with(std::current_exception());
+        break;
+      }
+      {
+        std::lock_guard lock(mu);
+        for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+          ready.emplace_back(ki, mi);
+        }
+      }
+      cv.notify_all();
+    }
+    {
+      std::lock_guard lock(mu);
+      produced_all = true;
+    }
+    cv.notify_all();
+  };
+
+  auto consume = [&] {
+    for (;;) {
+      std::pair<std::size_t, std::size_t> task;
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock,
+                [&] { return !ready.empty() || produced_all || aborted; });
+        if (aborted) return;  // fail-fast: drop queued stages
+        if (ready.empty()) {
+          if (produced_all) return;
+          continue;
+        }
+        task = ready.front();
+        ready.pop_front();
+      }
+      try {
+        machine_stage(task.first, task.second);
+      } catch (...) {
+        abort_with(std::current_exception());
+        return;
+      }
+    }
+  };
+
+  // One engine worker per job slot; worker 0 (the calling thread) is the
+  // producer and joins the drain once every kernel has run.
+  ThreadPool pool(jobs);
+  pool.parallel_for(jobs, [&](std::size_t begin, std::size_t end, unsigned) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (i == 0) produce();
+      consume();
+    }
+  });
+
+  stats_.kernel_runs = kernel_runs;
+  stats_.machine_evals = machine_evals.load(std::memory_order_relaxed);
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+StudyConfig golden_config() {
+  StudyConfig cfg;
+  cfg.scale = 0.2;
+  cfg.threads = 1;  // host-independent op counts and FP reductions
+  cfg.trace_refs = 120'000;
+  cfg.jobs = 1;
+  cfg.canonical_timing = true;
+  // One kernel per workload class: stencil, dense, gather, stream, I/O,
+  // plus the paper's Phi-hostile outlier (branchy scalar code).
+  cfg.kernels = {"AMG", "HPL", "XSBn", "BABL2", "MxIO", "NGSA"};
+  return cfg;
+}
+
+}  // namespace fpr::study

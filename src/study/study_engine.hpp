@@ -1,0 +1,70 @@
+// StudyEngine: the study pipeline decomposed into schedulable jobs.
+//
+// The evaluation grid is one instrumented kernel run per kernel (the
+// paper's SDE/PCM step) feeding three per-machine stages (memory
+// simulation + model evaluation + frequency sweep) per kernel. The
+// kernel-run stage is inherently serial: kernels execute on the global
+// ThreadPool and count operations through process-wide thread-local
+// tallies, so two concurrent runs would race the pool's single job slot
+// and cross-contaminate each other's assay deltas. The per-machine
+// stages, by contrast, are pure functions of (CpuSpec, measurement) —
+// the engine therefore runs one producer that executes kernels in paper
+// order and streams (kernel, machine) jobs to the workers of an
+// engine-owned fpr::ThreadPool as soon as each measurement lands.
+//
+// Guarantees:
+//  - each kernel's instrumented run executes exactly once, shared by all
+//    machine stages (stats().kernel_runs counts them);
+//  - results are slot-indexed, so ordering is deterministic — identical
+//    across any jobs count, and byte-identical once serialized when
+//    cfg.canonical_timing strips the only wall-clock field;
+//  - a kernel-verification exception aborts fail-fast: queued machine
+//    jobs are dropped, no further kernel runs start, and run() rethrows
+//    the original exception.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+#include "study/study.hpp"
+
+namespace fpr::study {
+
+/// Execution counters for the run-count assertions in tests and for the
+/// throughput bench's sanity output.
+struct EngineStats {
+  std::uint64_t kernel_runs = 0;    ///< instrumented kernel executions
+  std::uint64_t machine_evals = 0;  ///< completed (kernel, machine) stages
+};
+
+class StudyEngine {
+ public:
+  /// Source of kernels to run (tests inject counting/failing fakes).
+  using KernelFactory =
+      std::function<std::vector<std::unique_ptr<kernels::ProxyKernel>>()>;
+
+  explicit StudyEngine(StudyConfig cfg, KernelFactory factory = nullptr);
+
+  /// Execute the pipeline. Call at most once per engine.
+  [[nodiscard]] StudyResults run();
+
+  /// Valid after run() returns (or throws).
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+ private:
+  StudyConfig cfg_;
+  KernelFactory factory_;
+  EngineStats stats_;
+};
+
+/// The deterministic configuration behind tests/golden/study_snapshot.json:
+/// a six-kernel subset covering every workload class at reduced scale,
+/// single-threaded kernel runs (host-independent op counts), canonical
+/// timing. Regenerate the snapshot with
+/// `fpr study --golden --out tests/golden/study_snapshot.json`.
+[[nodiscard]] StudyConfig golden_config();
+
+}  // namespace fpr::study

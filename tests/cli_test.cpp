@@ -1,13 +1,22 @@
 // Tests for the `fpr` suite-runner command core: command dispatch,
-// option parsing/validation, and the list/run report contents. Driven
-// in-process through run_cli so no child processes are needed.
+// option parsing/validation, and the list/run/study/diff report
+// contents. Driven in-process through run_cli so no child processes are
+// needed.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "io/study_json.hpp"
 #include "kernels/kernel.hpp"
 
 namespace fpr::cli {
@@ -127,6 +136,220 @@ TEST(Cli, RunRejectsBadOptionValues) {
   EXPECT_EQ(run({"run", "--threads", "-1"}).code, 2);
   EXPECT_EQ(run({"run", "--threads", "99999999999999999999"}).code, 2);
   EXPECT_EQ(run({"run", "--wat"}).code, 2);
+  EXPECT_EQ(run({"run", "stray-positional"}).code, 2);
+}
+
+// ---------------------------------------------------------------------------
+// fpr study / fpr diff
+
+/// Unique temp path, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    static int counter = 0;
+    path_ = (std::filesystem::temp_directory_path() /
+             ("fpr_cli_test_" + std::to_string(::getpid()) + "_" + tag + "_" +
+              std::to_string(++counter) + ".json"))
+                .string();
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Fast single-kernel study invocation writing JSON to `out`.
+CliOutcome run_study_to(const std::string& out,
+                        const std::vector<std::string>& extra = {}) {
+  std::vector<std::string> args = {"study",        "--kernel",
+                                   "BABL2",        "--scale",
+                                   "0.15",         "--trace-refs",
+                                   "20000",        "--out",
+                                   out};
+  args.insert(args.end(), extra.begin(), extra.end());
+  return run(args);
+}
+
+TEST(Cli, StudyWritesParsableResultsFile) {
+  TempFile tmp("study");
+  const auto r = run_study_to(tmp.path(), {"--jobs", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(std::filesystem::exists(tmp.path()));
+  // Summary table on stdout covers every machine.
+  EXPECT_NE(r.out.find("Study summary"), std::string::npos);
+  for (const char* machine : {"KNL", "KNM", "BDW"}) {
+    EXPECT_NE(r.out.find(machine), std::string::npos) << machine;
+  }
+  // The file is a loadable, schema-valid results document.
+  const auto results = io::study_from_json(io::load_file(tmp.path()));
+  ASSERT_EQ(results.kernels.size(), 1u);
+  EXPECT_EQ(results.kernels[0].info.abbrev, "BABL2");
+  // Default canonical timing: byte-stable output, no wall-clock noise.
+  EXPECT_EQ(results.kernels[0].meas.host_seconds, 0.0);
+}
+
+TEST(Cli, StudyTimingFlagKeepsHostSeconds) {
+  TempFile tmp("timing");
+  const auto r = run_study_to(tmp.path(), {"--timing"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const auto results = io::study_from_json(io::load_file(tmp.path()));
+  EXPECT_GT(results.kernels[0].meas.host_seconds, 0.0);
+}
+
+TEST(Cli, StudyOutDashEmitsPureJsonOnStdout) {
+  const auto r = run_study_to("-");
+  EXPECT_EQ(r.code, 0) << r.err;
+  ASSERT_FALSE(r.out.empty());
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_EQ(r.out.find("Study summary"), std::string::npos);
+  // Whole stdout is one JSON document (plus trailing newline).
+  const auto results = io::study_from_json(io::parse(r.out));
+  EXPECT_EQ(results.kernels.size(), 1u);
+  // Diagnostics still land on stderr.
+  EXPECT_NE(r.err.find("[fpr] study"), std::string::npos);
+}
+
+TEST(Cli, StudyCsvKeepsStdoutMachineParsable) {
+  const auto r = run({"study", "--kernel", "BABL2", "--scale", "0.15",
+                      "--trace-refs", "20000", "--csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.find("Study summary"), std::string::npos);
+  EXPECT_NE(r.err.find("Study summary"), std::string::npos);
+  EXPECT_NE(r.out.find("Kernel,Machine,Bound"), std::string::npos);
+}
+
+TEST(Cli, StudyRejectsBadOptions) {
+  EXPECT_EQ(run({"study", "--kernel", "NOPE"}).code, 2);
+  EXPECT_EQ(run({"study", "--jobs", "-1"}).code, 2);
+  EXPECT_EQ(run({"study", "--jobs", "9999999"}).code, 2);
+  EXPECT_EQ(run({"study", "--trace-refs", "0"}).code, 2);
+  EXPECT_EQ(run({"study", "--out"}).code, 2);  // missing value
+  EXPECT_EQ(run({"study", "stray"}).code, 2);
+  // --golden is a fixed preset; flags it would silently ignore are
+  // rejected instead.
+  EXPECT_EQ(run({"study", "--golden", "--timing"}).code, 2);
+  EXPECT_EQ(run({"study", "--golden", "--no-sweep"}).code, 2);
+}
+
+TEST(Cli, StudyPropagatesSeedToKernels) {
+  // XSBn's synthetic lookup inputs depend on the PRNG seed, so its
+  // serialized results must differ between seeds (and stay stable for
+  // the same seed).
+  TempFile a("seed_a");
+  TempFile b("seed_b");
+  TempFile c("seed_c");
+  auto study = [&](const std::string& out, const char* seed) {
+    return run({"study", "--kernel", "XSBn", "--scale", "0.15",
+                "--trace-refs", "5000", "--seed", seed, "--out", out});
+  };
+  ASSERT_EQ(study(a.path(), "42").code, 0);
+  ASSERT_EQ(study(b.path(), "7").code, 0);
+  ASSERT_EQ(study(c.path(), "42").code, 0);
+  std::ifstream fa(a.path()), fb(b.path()), fc(c.path());
+  const std::string ja((std::istreambuf_iterator<char>(fa)), {});
+  const std::string jb((std::istreambuf_iterator<char>(fb)), {});
+  const std::string jc((std::istreambuf_iterator<char>(fc)), {});
+  EXPECT_NE(ja, jb);
+  EXPECT_EQ(ja, jc);
+}
+
+TEST(Cli, DiffIdenticalFilesIsCleanExitZero) {
+  TempFile a("diff_a");
+  ASSERT_EQ(run_study_to(a.path()).code, 0);
+  const auto r = run({"diff", a.path(), a.path()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("OK:"), std::string::npos);
+  EXPECT_NE(r.out.find("0 exceeding"), std::string::npos);
+}
+
+TEST(Cli, DiffReportsRelativeDeltasAndHonoursTolerance) {
+  TempFile a("diff_a");
+  TempFile b("diff_b");
+  ASSERT_EQ(run_study_to(a.path()).code, 0);
+  // Perturb one metric by 50% in the B file.
+  auto doc = io::load_file(a.path());
+  auto results = io::study_from_json(doc);
+  results.kernels[0].machines[0].perf.seconds *= 1.5;
+  io::save_file(b.path(), io::to_json(results));
+
+  const auto r = run({"diff", a.path(), b.path()});
+  EXPECT_EQ(r.code, 1) << r.err;
+  EXPECT_NE(r.out.find("FAIL:"), std::string::npos);
+  EXPECT_NE(r.out.find("t2sol"), std::string::npos);  // offending metric
+  EXPECT_NE(r.out.find("KNL"), std::string::npos);    // offending machine
+
+  // A generous tolerance accepts the same pair.
+  const auto ok = run({"diff", a.path(), b.path(), "--tolerance", "0.51"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
+  EXPECT_NE(ok.out.find("OK:"), std::string::npos);
+
+  // CSV mode: rows on stdout, prose on stderr.
+  const auto csv = run({"diff", a.path(), b.path(), "--csv"});
+  EXPECT_EQ(csv.code, 1);
+  EXPECT_NE(csv.out.find("Kernel,Machine,Metric"), std::string::npos);
+  EXPECT_EQ(csv.out.find("FAIL:"), std::string::npos);
+  EXPECT_NE(csv.err.find("FAIL:"), std::string::npos);
+}
+
+TEST(Cli, DiffNeverLetsNaNPassAsEqual) {
+  TempFile a("nan_a");
+  TempFile b("nan_b");
+  ASSERT_EQ(run_study_to(a.path()).code, 0);
+  auto results = io::study_from_json(io::load_file(a.path()));
+  results.kernels[0].machines[0].perf.seconds =
+      std::numeric_limits<double>::quiet_NaN();
+  io::save_file(b.path(), io::to_json(results));
+  // A NaN regression fails even the widest finite tolerance.
+  const auto r = run({"diff", a.path(), b.path(), "--tolerance", "1e9"});
+  EXPECT_EQ(r.code, 1) << r.out;
+  EXPECT_NE(r.out.find("t2sol"), std::string::npos);
+  // NaN vs NaN counts as identical (the file diffs clean vs itself).
+  EXPECT_EQ(run({"diff", b.path(), b.path()}).code, 0);
+}
+
+TEST(Cli, DiffCoversEverySerializedMetric) {
+  TempFile a("cover_a");
+  TempFile b("cover_b");
+  ASSERT_EQ(run_study_to(a.path()).code, 0);
+  // Regressions in the less headline-grabbing metrics must be caught
+  // too: a memory-profile detail and a turbo-flag-only sweep change.
+  auto results = io::study_from_json(io::load_file(a.path()));
+  auto& m0 = results.kernels[0].machines[0];
+  m0.mem.mcdram_capture = m0.mem.mcdram_capture * 0.5 + 0.2;
+  ASSERT_FALSE(m0.freq_sweep.empty());
+  m0.freq_sweep.back().first.turbo = !m0.freq_sweep.back().first.turbo;
+  io::save_file(b.path(), io::to_json(results));
+
+  const auto r = run({"diff", a.path(), b.path()});
+  EXPECT_EQ(r.code, 1) << r.out;
+  EXPECT_NE(r.out.find("mcdram_capture"), std::string::npos);
+  EXPECT_NE(r.out.find("+TB"), std::string::npos);  // the turbo mismatch
+}
+
+TEST(Cli, DiffFlagsMissingKernelsAsStructural) {
+  TempFile a("diff_a");
+  TempFile b("diff_b");
+  ASSERT_EQ(run_study_to(a.path()).code, 0);
+  auto results = io::study_from_json(io::load_file(a.path()));
+  results.kernels.clear();
+  io::save_file(b.path(), io::to_json(results));
+  const auto r = run({"diff", a.path(), b.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("missing"), std::string::npos);
+}
+
+TEST(Cli, DiffUsageAndIoErrors) {
+  EXPECT_EQ(run({"diff"}).code, 2);                    // no files
+  EXPECT_EQ(run({"diff", "only-one.json"}).code, 2);   // one file
+  EXPECT_EQ(run({"diff", "a", "b", "c"}).code, 2);     // three files
+  EXPECT_EQ(run({"diff", "a", "b", "--tolerance", "-1"}).code, 2);
+  const auto r = run({"diff", "/nonexistent/a.json", "/nonexistent/b.json"});
+  EXPECT_EQ(r.code, 1);  // runtime, not usage
+  EXPECT_NE(r.err.find("fpr: error:"), std::string::npos);
 }
 
 }  // namespace

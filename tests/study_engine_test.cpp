@@ -1,0 +1,252 @@
+// Tests for the parallel StudyEngine: determinism across job counts,
+// single-execution of the instrumented kernel-run stage, deterministic
+// result ordering, and fail-fast propagation of verification failures.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/study_json.hpp"
+#include "study/study_engine.hpp"
+
+namespace fpr::study {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Injectable fake kernels: cheap, deterministic, and instrumented with a
+// shared run counter so tests can assert how often the engine executed
+// the kernel-run stage (the "hoisted single instrumented run" guarantee:
+// one run per kernel, not one per machine profile).
+
+struct RunLog {
+  std::atomic<int> total{0};
+  std::vector<std::string> order;  // producer-side, serial by design
+  std::mutex mu;
+};
+
+class FakeKernel : public kernels::ProxyKernel {
+ public:
+  FakeKernel(std::string abbrev, RunLog* log, bool fail)
+      : log_(log), fail_(fail) {
+    info_.name = "Fake " + abbrev;
+    info_.abbrev = std::move(abbrev);
+    info_.suite = kernels::Suite::reference;
+    info_.domain = kernels::Domain::reference;
+    info_.pattern = kernels::ComputePattern::stream;
+    info_.language = "C++";
+    info_.paper_input = "synthetic";
+  }
+
+  [[nodiscard]] const kernels::KernelInfo& info() const override {
+    return info_;
+  }
+
+  [[nodiscard]] model::WorkloadMeasurement run(
+      const kernels::RunConfig&) const override {
+    log_->total.fetch_add(1);
+    {
+      std::lock_guard lock(log_->mu);
+      log_->order.push_back(info_.abbrev);
+    }
+    if (fail_) {
+      throw std::runtime_error(info_.abbrev +
+                               ": verification failed (injected)");
+    }
+    model::WorkloadMeasurement m;
+    m.name = info_.abbrev;
+    m.ops.fp64 = 1'000'000'000;
+    m.ops.int_ops = 250'000'000;
+    m.ops.bytes_read = 8'000'000'000;
+    m.ops.bytes_written = 4'000'000'000;
+    m.working_set_bytes = 1u << 26;
+    m.access = memsim::AccessPatternSpec::single(
+        memsim::StreamPattern{1u << 26, 3, 1});
+    m.verified = true;
+    m.checksum = 42.0;
+    return m;
+  }
+
+ private:
+  kernels::KernelInfo info_;
+  RunLog* log_;
+  bool fail_;
+};
+
+StudyEngine::KernelFactory fake_factory(const std::vector<std::string>& names,
+                                        RunLog* log,
+                                        const std::string& failing = "") {
+  return [names, log, failing] {
+    std::vector<std::unique_ptr<kernels::ProxyKernel>> out;
+    for (const auto& n : names) {
+      out.push_back(std::make_unique<FakeKernel>(n, log, n == failing));
+    }
+    return out;
+  };
+}
+
+StudyConfig fake_config(unsigned jobs) {
+  StudyConfig cfg;
+  cfg.trace_refs = 20'000;
+  cfg.jobs = jobs;
+  cfg.canonical_timing = true;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism over real kernels: the parallel engine must be a pure
+// reordering of the serial pipeline's work, so its StudyResults must be
+// bit-identical (compared via the lossless JSON serialization) for any
+// jobs count, including the serial jobs=1 baseline.
+
+StudyConfig real_subset_config(unsigned jobs) {
+  StudyConfig cfg;
+  cfg.scale = 0.15;
+  cfg.threads = 1;
+  cfg.trace_refs = 60'000;
+  cfg.kernels = {"AMG", "BABL2", "MxIO"};
+  cfg.jobs = jobs;
+  cfg.canonical_timing = true;
+  return cfg;
+}
+
+TEST(StudyEngine, ParallelMatchesSerialBitIdentical) {
+  const std::string serial =
+      io::dump(io::to_json(StudyEngine(real_subset_config(1)).run()));
+  for (const unsigned jobs : {2u, 8u}) {
+    const std::string parallel =
+        io::dump(io::to_json(StudyEngine(real_subset_config(jobs)).run()));
+    EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+  }
+}
+
+TEST(StudyEngine, RunStudyDelegatesToEngine) {
+  const auto direct = StudyEngine(real_subset_config(1)).run();
+  const auto wrapped = run_study(real_subset_config(2));
+  EXPECT_EQ(io::dump(io::to_json(direct)), io::dump(io::to_json(wrapped)));
+}
+
+TEST(StudyEngine, DeterministicOrderingAcrossJobs) {
+  const std::vector<std::string> names = {"K0", "K1", "K2", "K3", "K4",
+                                          "K5", "K6", "K7"};
+  for (const unsigned jobs : {1u, 8u}) {
+    RunLog jog;
+    StudyEngine engine(fake_config(jobs), fake_factory(names, &jog));
+    const auto results = engine.run();
+    ASSERT_EQ(results.kernels.size(), names.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      EXPECT_EQ(results.kernels[i].info.abbrev, names[i]) << "jobs=" << jobs;
+      ASSERT_EQ(results.kernels[i].machines.size(), 3u);
+      EXPECT_EQ(results.kernels[i].machines[0].cpu.short_name, "KNL");
+      EXPECT_EQ(results.kernels[i].machines[1].cpu.short_name, "KNM");
+      EXPECT_EQ(results.kernels[i].machines[2].cpu.short_name, "BDW");
+    }
+  }
+}
+
+TEST(StudyEngine, KernelSubsetFilterPreservesFactoryOrder) {
+  RunLog log;
+  auto cfg = fake_config(4);
+  cfg.kernels = {"K3", "K1"};  // request order must NOT matter
+  StudyEngine engine(cfg,
+                     fake_factory({"K0", "K1", "K2", "K3", "K4"}, &log));
+  const auto results = engine.run();
+  ASSERT_EQ(results.kernels.size(), 2u);
+  EXPECT_EQ(results.kernels[0].info.abbrev, "K1");
+  EXPECT_EQ(results.kernels[1].info.abbrev, "K3");
+  EXPECT_EQ(log.total.load(), 2);
+}
+
+// The satellite fix behind this PR: profiling a kernel's measurement for
+// each of the three machines must share ONE instrumented run — the
+// engine may never re-execute (or re-seed) the kernel per machine.
+TEST(StudyEngine, KernelRunsExactlyOncePerKernel) {
+  for (const unsigned jobs : {1u, 4u}) {
+    RunLog log;
+    StudyEngine engine(fake_config(jobs),
+                       fake_factory({"K0", "K1", "K2"}, &log));
+    const auto results = engine.run();
+    ASSERT_EQ(results.kernels.size(), 3u);
+    EXPECT_EQ(log.total.load(), 3) << "jobs=" << jobs;  // 1 run per kernel
+    EXPECT_EQ(engine.stats().kernel_runs, 3u) << "jobs=" << jobs;
+    // ... while every (kernel, machine) stage still ran.
+    EXPECT_EQ(engine.stats().machine_evals, 9u) << "jobs=" << jobs;
+    for (const auto& k : results.kernels) {
+      EXPECT_TRUE(k.meas.verified);
+      EXPECT_EQ(k.machines.size(), 3u);
+      for (const auto& m : k.machines) {
+        EXPECT_GT(m.perf.seconds, 0.0);
+        EXPECT_FALSE(m.freq_sweep.empty());
+      }
+    }
+  }
+}
+
+TEST(StudyEngine, FailFastPropagatesKernelException) {
+  for (const unsigned jobs : {1u, 4u}) {
+    RunLog log;
+    StudyEngine engine(
+        fake_config(jobs),
+        fake_factory({"OK0", "BOOM", "NEVER0", "NEVER1"}, &log, "BOOM"));
+    try {
+      (void)engine.run();
+      FAIL() << "expected the injected verification failure (jobs=" << jobs
+             << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("BOOM: verification failed"),
+                std::string::npos)
+          << e.what();
+    }
+    // Fail-fast: the kernels after the failing one never started.
+    EXPECT_EQ(log.total.load(), 2) << "jobs=" << jobs;  // OK0 + BOOM
+    {
+      std::lock_guard lock(log.mu);
+      ASSERT_EQ(log.order.size(), 2u);
+      EXPECT_EQ(log.order[0], "OK0");
+      EXPECT_EQ(log.order[1], "BOOM");
+    }
+    EXPECT_EQ(engine.stats().kernel_runs, 1u) << "jobs=" << jobs;
+  }
+}
+
+TEST(StudyEngine, CanonicalTimingZeroesHostSeconds) {
+  auto cfg = real_subset_config(1);
+  cfg.kernels = {"BABL2"};
+  cfg.trace_refs = 20'000;
+
+  cfg.canonical_timing = true;
+  const auto canonical = StudyEngine(cfg).run();
+  ASSERT_EQ(canonical.kernels.size(), 1u);
+  EXPECT_EQ(canonical.kernels[0].meas.host_seconds, 0.0);
+
+  cfg.canonical_timing = false;
+  const auto timed = StudyEngine(cfg).run();
+  EXPECT_GT(timed.kernels[0].meas.host_seconds, 0.0);
+}
+
+TEST(StudyEngine, GoldenConfigIsTheDocumentedDeterministicScale) {
+  const auto cfg = golden_config();
+  EXPECT_EQ(cfg.threads, 1u);  // host-independent op counts
+  EXPECT_TRUE(cfg.canonical_timing);
+  EXPECT_LT(cfg.scale, 1.0);
+  const std::vector<std::string> expected = {"AMG",   "HPL",  "XSBn",
+                                             "BABL2", "MxIO", "NGSA"};
+  EXPECT_EQ(cfg.kernels, expected);
+}
+
+TEST(StudyEngine, EmptySelectionYieldsEmptyResults) {
+  RunLog log;
+  auto cfg = fake_config(4);
+  cfg.kernels = {"NOPE"};  // matches nothing in the injected factory
+  StudyEngine engine(cfg, fake_factory({"K0"}, &log));
+  const auto results = engine.run();
+  EXPECT_TRUE(results.kernels.empty());
+  EXPECT_EQ(log.total.load(), 0);
+  EXPECT_EQ(engine.stats().machine_evals, 0u);
+}
+
+}  // namespace
+}  // namespace fpr::study
