@@ -1,13 +1,17 @@
-// StudyEngine throughput bench: runs the same deterministic study at a
-// ladder of --jobs counts and reports the wall-clock speedup of the
-// parallel per-machine stages over the serial jobs=1 baseline, verifying
-// along the way that every jobs count produced byte-identical JSON (the
-// engine's core guarantee). On a >= 4-core host the ladder demonstrates
-// the >= 2x speedup this PR's acceptance criteria call for; on smaller
-// hosts it degenerates gracefully and says so.
+// StudyEngine throughput bench: runs the same deterministic study over a
+// two-dimensional (kernel-jobs x machine-jobs) ladder and reports the
+// wall-clock speedup over the serial (1, 1) baseline, verifying along
+// the way that EVERY point produced byte-identical JSON (the engine's
+// core guarantee: both fan-out axes are pure reorderings of the serial
+// pipeline). Kernel runs execute in per-run ExecutionContexts, so the
+// kernel-jobs axis is where the de-globalized counters/pool pay off; the
+// machine-jobs axis parallelizes the memsim/model/freq-sweep stages as
+// before. On a >= 4-core host the ladder demonstrates a >= 2x speedup;
+// on smaller hosts it degenerates gracefully and says so.
 //
 //   ./build/study_parallel [--kernels A,B,...] [--scale S]
 //                          [--trace-refs N] [--jobs 1,2,4,8]
+//                          [--kernel-jobs 1,2,4,8]
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -34,6 +38,30 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
+std::vector<unsigned> parse_ladder(const std::string& s) {
+  std::vector<unsigned> out;
+  for (const auto& j : split_csv(s)) {
+    // Same guards as the fpr CLI: stoul wraps negatives instead of
+    // throwing, and absurd counts would try to spawn that many threads.
+    unsigned long v = 0;
+    bool ok = j.find('-') == std::string::npos;
+    if (ok) {
+      try {
+        v = std::stoul(j);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok || v == 0 || v > 4096) {
+      std::cerr << "invalid ladder value '" << j
+                << "' (want integers in 1..4096)\n";
+      std::exit(2);
+    }
+    out.push_back(static_cast<unsigned>(v));
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,12 +69,13 @@ int main(int argc, char** argv) {
 
   study::StudyConfig cfg;
   cfg.scale = 0.2;
-  cfg.threads = 1;  // keep kernel runs cheap; the machine stages dominate
+  cfg.threads = 1;  // keep each kernel run cheap and host-independent
   cfg.trace_refs = 400'000;
   cfg.canonical_timing = true;
   cfg.kernels = {"AMG",  "HPL",  "XSBn", "BABL2", "MxIO",
                  "NGSA", "NekB", "CoMD", "SW4L",  "MiFE"};
   std::vector<unsigned> jobs_ladder = {1, 2, 4, 8};
+  std::vector<unsigned> kernel_jobs_ladder = {1, 2, 4, 8};
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,50 +93,58 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-refs") {
       cfg.trace_refs = std::stoull(value());
     } else if (arg == "--jobs") {
-      jobs_ladder.clear();
-      for (const auto& j : split_csv(value())) {
-        jobs_ladder.push_back(static_cast<unsigned>(std::stoul(j)));
-      }
+      jobs_ladder = parse_ladder(value());
+    } else if (arg == "--kernel-jobs") {
+      kernel_jobs_ladder = parse_ladder(value());
     } else {
       std::cerr << "unknown option " << arg << "\n";
       return 2;
     }
   }
-  if (jobs_ladder.empty() || jobs_ladder.front() != 1) {
-    jobs_ladder.insert(jobs_ladder.begin(), 1);
+  // The (1, 1) baseline anchors both the speedup column and the
+  // byte-identity check, so each axis must start at 1.
+  for (auto* ladder : {&jobs_ladder, &kernel_jobs_ladder}) {
+    if (ladder->empty() || ladder->front() != 1) {
+      ladder->insert(ladder->begin(), 1);
+    }
   }
 
   bench::header("StudyEngine parallel throughput",
-                "the Sec. III-A pipeline, parallelized");
+                "the Sec. III-A pipeline, parallelized on both axes");
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::cout << "host: " << hw << " hardware thread(s); "
             << cfg.kernels.size() << " kernel(s), trace_refs="
             << cfg.trace_refs << "\n\n";
 
-  TextTable table({"Jobs", "Wall[s]", "Speedup", "Identical"});
+  TextTable table({"KernelJobs", "Jobs", "Wall[s]", "Speedup", "Identical"});
   double base_seconds = 0.0;
   std::string base_json;
-  for (const unsigned jobs : jobs_ladder) {
-    auto run_cfg = cfg;
-    run_cfg.jobs = jobs;
-    WallTimer timer;
-    study::StudyEngine engine(run_cfg);
-    const auto results = engine.run();
-    const double seconds = timer.seconds();
-    const std::string json = io::dump(io::to_json(results));
-    if (jobs == 1) {
-      base_seconds = seconds;
-      base_json = json;
-    }
-    table.row()
-        .integer(jobs)
-        .num(seconds, 3)
-        .num(base_seconds > 0 ? base_seconds / seconds : 1.0, 2)
-        .cell(json == base_json ? "yes" : "NO")
-        .done();
-    if (json != base_json) {
-      std::cerr << "[bench] DETERMINISM VIOLATION at jobs=" << jobs << "\n";
-      return 1;
+  for (const unsigned kernel_jobs : kernel_jobs_ladder) {
+    for (const unsigned jobs : jobs_ladder) {
+      auto run_cfg = cfg;
+      run_cfg.jobs = jobs;
+      run_cfg.kernel_jobs = kernel_jobs;
+      WallTimer timer;
+      study::StudyEngine engine(run_cfg);
+      const auto results = engine.run();
+      const double seconds = timer.seconds();
+      const std::string json = io::dump(io::to_json(results));
+      if (kernel_jobs == 1 && jobs == 1) {
+        base_seconds = seconds;
+        base_json = json;
+      }
+      table.row()
+          .integer(kernel_jobs)
+          .integer(jobs)
+          .num(seconds, 3)
+          .num(base_seconds > 0 ? base_seconds / seconds : 1.0, 2)
+          .cell(json == base_json ? "yes" : "NO")
+          .done();
+      if (json != base_json) {
+        std::cerr << "[bench] DETERMINISM VIOLATION at kernel_jobs="
+                  << kernel_jobs << " jobs=" << jobs << "\n";
+        return 1;
+      }
     }
   }
   table.print(std::cout);

@@ -53,6 +53,10 @@ constexpr const char* kUsage =
     "  --jobs N             engine workers for the per-machine stages\n"
     "                       (0 = all hardware, default 0; never changes\n"
     "                       the results, only the wall time)\n"
+    "  --kernel-jobs K      concurrent instrumented kernel runs, each in\n"
+    "                       its own execution context with a private\n"
+    "                       --threads worker pool (0 = all hardware,\n"
+    "                       default 1; never changes the results)\n"
     "  --trace-refs N       cache-sim trace length (default 400000)\n"
     "  --no-sweep           skip the Fig. 6 frequency sweep\n"
     "  --timing             keep wall-clock host_seconds in the output\n"
@@ -76,7 +80,8 @@ struct RunOptions {
   bool auto_threads = false;
   bool csv = false;
   // study
-  unsigned jobs = 0;  // 0 = all hardware
+  unsigned jobs = 0;        // 0 = all hardware
+  unsigned kernel_jobs = 1;  // 0 = all hardware
   std::uint64_t trace_refs = 400'000;
   bool no_sweep = false;
   bool timing = false;
@@ -87,6 +92,16 @@ struct RunOptions {
   // non-option arguments (diff's two file paths)
   std::vector<std::string> positional;
 };
+
+/// Shared validation for worker-count options (--threads, --jobs,
+/// --kernel-jobs): reject negatives (stoul would wrap them) and cap the
+/// count before anything sizes per-worker state from it.
+unsigned parse_worker_count(const std::string& t) {
+  if (t.find('-') != std::string::npos) throw std::invalid_argument(t);
+  const unsigned long v = std::stoul(t);
+  if (v > 4096) throw std::invalid_argument(t);
+  return static_cast<unsigned>(v);
+}
 
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -280,12 +295,14 @@ int cmd_study(const RunOptions& opt, std::ostream& out, std::ostream& err) {
     cfg.freq_sweep = !opt.no_sweep;
     cfg.canonical_timing = !opt.timing;
   }
-  // Job count never changes the results, so it stays user-controlled
+  // Job counts never change the results, so they stay user-controlled
   // even under --golden.
   cfg.jobs = opt.jobs;
+  cfg.kernel_jobs = opt.kernel_jobs;
 
   err << "[fpr] study: " << cfg.kernels.size() << " kernel(s) at scale "
-      << cfg.scale << ", jobs=" << cfg.jobs << " (0 = all hardware)\n";
+      << cfg.scale << ", jobs=" << cfg.jobs << ", kernel-jobs="
+      << cfg.kernel_jobs << " (0 = all hardware)\n";
 
   study::StudyEngine engine(cfg);
   const auto results = engine.run();
@@ -578,15 +595,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           return usage_error(err, "--scale must be > 0");
         }
       } else if (arg == "--threads") {
-        // stoul wraps negatives instead of throwing; reject them up
-        // front, and cap the count before kernels size per-worker state
-        // from it.
-        opt.threads = number([](const std::string& t) {
-          if (t.find('-') != std::string::npos) throw std::invalid_argument(t);
-          const unsigned long v = std::stoul(t);
-          if (v > 4096) throw std::invalid_argument(t);
-          return static_cast<unsigned>(v);
-        });
+        opt.threads = number(parse_worker_count);
       } else if (arg == "--repeats") {
         opt.repeats =
             number([](const std::string& t) { return std::stoi(t); });
@@ -597,12 +606,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         opt.seed =
             number([](const std::string& t) { return std::stoull(t); });
       } else if (arg == "--jobs") {
-        opt.jobs = number([](const std::string& t) {
-          if (t.find('-') != std::string::npos) throw std::invalid_argument(t);
-          const unsigned long v = std::stoul(t);
-          if (v > 4096) throw std::invalid_argument(t);
-          return static_cast<unsigned>(v);
-        });
+        opt.jobs = number(parse_worker_count);
+      } else if (arg == "--kernel-jobs") {
+        opt.kernel_jobs = number(parse_worker_count);
       } else if (arg == "--trace-refs") {
         opt.trace_refs =
             number([](const std::string& t) { return std::stoull(t); });

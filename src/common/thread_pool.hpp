@@ -42,7 +42,12 @@ class ThreadPool {
                       const std::function<void(std::size_t, std::size_t,
                                                unsigned)>& body);
 
-  /// Process-wide pool, sized to hardware concurrency.
+  /// Compatibility shim: a lazily created process-wide pool, sized to
+  /// hardware concurrency. Library code must not use it — kernels and
+  /// the study engine run on context-owned pools (see
+  /// common/execution_context.hpp), which is what allows independent
+  /// kernel runs to execute concurrently. Retained only so external
+  /// callers written against the pre-context API keep linking.
   static ThreadPool& global();
 
  private:
@@ -67,14 +72,5 @@ class ThreadPool {
   std::uint64_t job_epoch_ = 0;
   bool stop_ = false;
 };
-
-/// Convenience wrapper over the global pool: body(i) per index.
-template <typename F>
-void parallel_for_each(std::size_t n, F&& body) {
-  ThreadPool::global().parallel_for(
-      n, [&](std::size_t begin, std::size_t end, unsigned) {
-        for (std::size_t i = begin; i < end; ++i) body(i);
-      });
-}
 
 }  // namespace fpr

@@ -6,35 +6,54 @@
 // The paper injects START/STOP around each benchmark's solver loop so
 // that *only the kernel* is measured, excluding initialization and
 // post-processing. AssayRecorder provides the same: between start() and
-// stop() it accumulates wall time and the delta of the global operation
-// tally. Multiple start/stop intervals accumulate (solver loops).
+// stop() it accumulates wall time and the delta of its counter sink's
+// operation tally. Multiple start/stop intervals accumulate (solver
+// loops).
+//
+// A recorder is bound to one CounterSink — normally the ExecutionContext
+// the kernel runs in — and snapshots that sink, not any process-global
+// sum, so concurrent runs in other contexts never leak into the delta.
+// A recorder constructed outside any context falls back to the
+// process-wide registry snapshot.
 #pragma once
 
 #include <stdexcept>
+#include <string>
 
 #include "common/timer.hpp"
 #include "counters/op_tally.hpp"
 #include "counters/registry.hpp"
+#include "counters/sink.hpp"
 
 namespace fpr::counters {
 
 class AssayRecorder {
  public:
-  /// Begin a measured interval. Must not already be measuring.
-  /// Note: the snapshot sums per-thread tallies; call from the thread
-  /// orchestrating the kernel while worker threads are quiescent.
+  /// Bind to the calling thread's active sink (null outside a context:
+  /// snapshots then fall back to the process-wide registry).
+  AssayRecorder() : sink_(active_sink()) {}
+
+  /// Bind to an explicit sink (the context the kernel executes in).
+  explicit AssayRecorder(const CounterSink* sink) : sink_(sink) {}
+
+  /// Begin a measured interval. Must not already be measuring, and the
+  /// sink must be quiescent: starting while the context has an in-flight
+  /// parallel region would race the workers' slot updates and tear the
+  /// snapshot — a mis-nested assay, rejected loudly.
   void start() {
     if (running_) throw std::logic_error("assay already started");
+    require_quiescent("start");
     running_ = true;
-    begin_ops_ = global_snapshot();
+    begin_ops_ = snapshot_now();
     timer_.reset();
   }
 
   /// End the current interval, folding time and ops into the totals.
   void stop() {
     if (!running_) throw std::logic_error("assay not started");
+    require_quiescent("stop");
     seconds_ += timer_.seconds();
-    ops_ += global_snapshot() - begin_ops_;
+    ops_ += snapshot_now() - begin_ops_;
     running_ = false;
     ++intervals_;
   }
@@ -44,10 +63,25 @@ class AssayRecorder {
   [[nodiscard]] const OpTally& ops() const { return ops_; }
   [[nodiscard]] unsigned intervals() const { return intervals_; }
 
-  /// Forget everything and return to the initial state.
+  /// Forget everything and return to the initial state (rebinding to the
+  /// calling thread's active sink, as the default constructor does).
   void reset() { *this = AssayRecorder{}; }
 
  private:
+  [[nodiscard]] OpTally snapshot_now() const {
+    return sink_ != nullptr ? sink_->snapshot() : global_snapshot();
+  }
+
+  void require_quiescent(const char* what) const {
+    if (sink_ != nullptr && !sink_->quiescent()) {
+      throw std::logic_error(
+          std::string("assay ") + what +
+          "() inside an in-flight parallel region: worker threads are "
+          "not quiescent");
+    }
+  }
+
+  const CounterSink* sink_ = nullptr;
   bool running_ = false;
   double seconds_ = 0.0;
   unsigned intervals_ = 0;
@@ -62,7 +96,17 @@ class ScopedAssay {
  public:
   explicit ScopedAssay(AssayRecorder& rec) : rec_(rec) { rec_.start(); }
   ~ScopedAssay() {
-    if (rec_.running()) rec_.stop();
+    if (rec_.running()) {
+      // Destructors are noexcept: a quiescence violation here (another
+      // thread left a region of this context in flight — impossible with
+      // the synchronous parallel_for, so exotic misuse) must not escape
+      // and terminate. start() remains the loud gate; direct stop()
+      // calls still throw.
+      try {
+        rec_.stop();
+      } catch (const std::logic_error&) {  // NOLINT(bugprone-empty-catch)
+      }
+    }
   }
   ScopedAssay(const ScopedAssay&) = delete;
   ScopedAssay& operator=(const ScopedAssay&) = delete;

@@ -4,6 +4,7 @@
 // traffic used by the memory model (the paper gets traffic from PCM).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 namespace fpr::counters {
@@ -35,8 +36,20 @@ struct OpTally {
     return a;
   }
 
-  /// Difference (for snapshot deltas). Requires *this >= o componentwise.
+  /// Difference (for snapshot deltas). Requires *this >= o componentwise:
+  /// a smaller minuend means the snapshots were taken out of order (a
+  /// mis-nested assay), and wrapping would silently report huge counts —
+  /// debug builds fail loudly instead.
   friend constexpr OpTally operator-(OpTally a, const OpTally& b) {
+    assert(a.fp64 >= b.fp64 && "OpTally difference underflow (fp64)");
+    assert(a.fp32 >= b.fp32 && "OpTally difference underflow (fp32)");
+    assert(a.int_ops >= b.int_ops && "OpTally difference underflow (int)");
+    assert(a.branches >= b.branches &&
+           "OpTally difference underflow (branches)");
+    assert(a.bytes_read >= b.bytes_read &&
+           "OpTally difference underflow (bytes_read)");
+    assert(a.bytes_written >= b.bytes_written &&
+           "OpTally difference underflow (bytes_written)");
     a.fp64 -= b.fp64;
     a.fp32 -= b.fp32;
     a.int_ops -= b.int_ops;

@@ -1,3 +1,6 @@
+// The legacy process-wide fallback registry: per-thread tallies for code
+// that counts outside any ExecutionContext. Context-bound counting goes
+// through counters::CounterSink and never touches this state.
 #include "counters/registry.hpp"
 
 #include <mutex>

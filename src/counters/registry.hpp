@@ -1,7 +1,11 @@
-// Thread-local tally registry. Each thread that executes instrumented
-// kernel code accumulates into its own OpTally (no atomics on the hot
-// path); the registry can snapshot the sum across all threads, which is
-// how assay regions compute their deltas.
+// Counting entry points for instrumented kernel code, routed through an
+// active-context pointer: while a thread executes inside an
+// ExecutionContext (bound via counters::ScopedCounting), every count
+// lands in that context's CounterSink slot — the primary path, giving
+// each kernel run its own isolated tallies. Threads outside any context
+// fall back to the legacy process-wide thread-local registry, which
+// remains for code (tests, ad-hoc oracles) that counts without a
+// context.
 #pragma once
 
 #include <cstdint>
@@ -10,34 +14,59 @@
 
 namespace fpr::counters {
 
-/// The calling thread's tally. Cheap (thread_local); hot kernel loops
-/// should hoist the reference out of the loop.
+class CounterSink;
+
+namespace detail {
+// The calling thread's current routing: a context sink slot when bound,
+// null when counting into the process-wide fallback. Trivially
+// initialized so access compiles to a plain TLS load.
+inline thread_local OpTally* active_tally = nullptr;
+inline thread_local CounterSink* active_sink = nullptr;
+}  // namespace detail
+
+/// The calling thread's fallback tally in the process-wide registry.
 OpTally& local_tally();
 
-/// Sum of all per-thread tallies ever registered in this process
-/// (including threads that have exited).
+/// Sum of all per-thread fallback tallies ever registered in this
+/// process (including threads that have exited). Context-bound counting
+/// never lands here — snapshot the context's sink instead.
 OpTally global_snapshot();
 
-/// Reset every live thread's tally and the retired-thread accumulator to
-/// zero. Only call while no instrumented kernel is running.
+/// Reset every live thread's fallback tally and the retired-thread
+/// accumulator to zero. Only call while no instrumented code is running.
 void reset_all();
+
+/// The sink the calling thread currently counts into (null = fallback).
+[[nodiscard]] inline CounterSink* active_sink() {
+  return detail::active_sink;
+}
+
+/// The tally the calling thread currently accumulates into: its bound
+/// context slot, or the process-wide thread-local outside any context.
+/// Cheap; hot kernel loops should still hoist the reference out.
+inline OpTally& current_tally() {
+  OpTally* t = detail::active_tally;
+  return t != nullptr ? *t : local_tally();
+}
 
 // -- Inline counting helpers (the instrumentation API kernels use) -------
 
-inline void add_fp64(std::uint64_t n) { local_tally().fp64 += n; }
-inline void add_fp32(std::uint64_t n) { local_tally().fp32 += n; }
-inline void add_int(std::uint64_t n) { local_tally().int_ops += n; }
-inline void add_branch(std::uint64_t n) { local_tally().branches += n; }
-inline void add_read_bytes(std::uint64_t n) { local_tally().bytes_read += n; }
+inline void add_fp64(std::uint64_t n) { current_tally().fp64 += n; }
+inline void add_fp32(std::uint64_t n) { current_tally().fp32 += n; }
+inline void add_int(std::uint64_t n) { current_tally().int_ops += n; }
+inline void add_branch(std::uint64_t n) { current_tally().branches += n; }
+inline void add_read_bytes(std::uint64_t n) {
+  current_tally().bytes_read += n;
+}
 inline void add_write_bytes(std::uint64_t n) {
-  local_tally().bytes_written += n;
+  current_tally().bytes_written += n;
 }
 
 /// Count a canonical "stream" loop touching n elements of size elem:
 /// r reads + w writes per element plus the given FP ops per element.
 inline void add_streamed(std::uint64_t n, std::uint64_t elem_bytes,
                          std::uint64_t reads_per, std::uint64_t writes_per) {
-  OpTally& t = local_tally();
+  OpTally& t = current_tally();
   t.bytes_read += n * elem_bytes * reads_per;
   t.bytes_written += n * elem_bytes * writes_per;
 }

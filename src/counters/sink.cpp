@@ -1,0 +1,19 @@
+#include "counters/sink.hpp"
+
+#include <algorithm>
+
+namespace fpr::counters {
+
+CounterSink::CounterSink(unsigned slots) : slots_(std::max(1u, slots)) {}
+
+OpTally CounterSink::snapshot() const {
+  OpTally sum;
+  for (const Slot& s : slots_) sum += s.tally;
+  return sum;
+}
+
+void CounterSink::reset() {
+  for (Slot& s : slots_) s.tally = OpTally{};
+}
+
+}  // namespace fpr::counters

@@ -67,8 +67,9 @@ Csr build_27pt(std::uint64_t d, double scale) {
 // y = A x, with hypre-like counting: 2 FP per nnz plus the CSR integer
 // indexing work (column load, pointer arithmetic, vector mask handling)
 // that dominates SDE's integer tally for hypre (Table IV: INT ~3x FP64).
-void spmv(const Csr& m, const double* x, double* y, unsigned workers) {
-  ThreadPool::global().parallel_for_n(
+void spmv(ExecutionContext& ctx, const Csr& m, const double* x, double* y,
+          unsigned workers) {
+  ctx.parallel_for_n(
       workers, m.n, [&](std::size_t lo, std::size_t hi, unsigned) {
         std::uint64_t fp = 0;
         for (std::size_t r = lo; r < hi; ++r) {
@@ -101,10 +102,11 @@ Amg::Amg()
           .paper_input = "problem 1: 27-point stencil, 3-D linear system",
       }) {}
 
-model::WorkloadMeasurement Amg::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Amg::run(ExecutionContext& ctx,
+                                    const RunConfig& cfg) const {
   const std::uint64_t d0 = scaled_dim(kRunDim, cfg.scale);
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Level hierarchy: full coarsening by 2 per dimension, operator
   // rescaled by 1/h^2 per level.
@@ -136,10 +138,10 @@ model::WorkloadMeasurement Amg::run(const RunConfig& cfg) const {
                     int sweeps) {
     const Csr& m = levels[lvl];
     for (int s = 0; s < sweeps; ++s) {
-      spmv(m, sol, ct[lvl].data(), workers);
+      spmv(ctx, m, sol, ct[lvl].data(), workers);
       const double wj = 0.85 / m.diag;
       double* tmp = ct[lvl].data();
-      pool.parallel_for_n(workers, m.n,
+      ctx.parallel_for_n(workers, m.n,
                           [&](std::size_t lo, std::size_t hi, unsigned) {
                             for (std::size_t i = lo; i < hi; ++i) {
                               sol[i] += wj * (rhs[i] - tmp[i]);
@@ -241,7 +243,7 @@ model::WorkloadMeasurement Amg::run(const RunConfig& cfg) const {
         smooth(l, rhs, sol, 2);
         if (l + 1 < levels.size()) {
           // coarse-grid correction
-          spmv(levels[l], sol, ct[l].data(), workers);
+          spmv(ctx, levels[l], sol, ct[l].data(), workers);
           AlignedBuffer<double>& res = cr[l];
           for (std::uint64_t i = 0; i < levels[l].n; ++i) {
             res[i] = rhs[i] - ct[l][i];
@@ -266,13 +268,13 @@ model::WorkloadMeasurement Amg::run(const RunConfig& cfg) const {
   };
 
   double res0 = 0.0, res = 0.0;
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     // hypre-style AMG used as a solver: stationary V-cycle iteration.
     res0 = std::sqrt(dot(b.data(), b.data()));
     for (int it = 0; it < kRunIters; ++it) {
       vcycle(0, b.data(), x.data());
     }
-    spmv(levels[0], x.data(), r.data(), workers);
+    spmv(ctx, levels[0], x.data(), r.data(), workers);
     for (std::uint64_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     counters::add_fp64(n);
     res = std::sqrt(dot(r.data(), r.data()));

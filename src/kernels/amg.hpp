@@ -13,8 +13,9 @@ class Amg final : public KernelBase {
  public:
   Amg();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperDim = 320;
   // hypre's AMG-PCG converges in far fewer, heavier cycles than

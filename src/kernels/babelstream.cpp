@@ -29,17 +29,18 @@ BabelStream::BabelStream(double paper_gib)
       }),
       paper_gib_(paper_gib) {}
 
-model::WorkloadMeasurement BabelStream::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement BabelStream::run(ExecutionContext& ctx,
+                                            const RunConfig& cfg) const {
   const std::size_t n = scaled_n(kRunN, cfg.scale);
   AlignedBuffer<double> a(n, 0.1), b(n, 0.2), c(n, 0.0);
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   double dot_result = 0.0;
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int rep = 0; rep < kReps; ++rep) {
       // Copy: c = a
-      pool.parallel_for_n(workers, n, [&](std::size_t lo, std::size_t hi,
+      ctx.parallel_for_n(workers, n, [&](std::size_t lo, std::size_t hi,
                                           unsigned) {
         for (std::size_t i = lo; i < hi; ++i) c[i] = a[i];
         counters::add_read_bytes((hi - lo) * 8);
@@ -47,7 +48,7 @@ model::WorkloadMeasurement BabelStream::run(const RunConfig& cfg) const {
         counters::add_int(hi - lo);  // index increments
       });
       // Mul: b = s * c
-      pool.parallel_for_n(workers, n, [&](std::size_t lo, std::size_t hi,
+      ctx.parallel_for_n(workers, n, [&](std::size_t lo, std::size_t hi,
                                           unsigned) {
         for (std::size_t i = lo; i < hi; ++i) b[i] = kScalar * c[i];
         counters::add_fp64(hi - lo);
@@ -56,7 +57,7 @@ model::WorkloadMeasurement BabelStream::run(const RunConfig& cfg) const {
         counters::add_int(hi - lo);
       });
       // Add: c = a + b
-      pool.parallel_for_n(workers, n, [&](std::size_t lo, std::size_t hi,
+      ctx.parallel_for_n(workers, n, [&](std::size_t lo, std::size_t hi,
                                           unsigned) {
         for (std::size_t i = lo; i < hi; ++i) c[i] = a[i] + b[i];
         counters::add_fp64(hi - lo);
@@ -65,7 +66,7 @@ model::WorkloadMeasurement BabelStream::run(const RunConfig& cfg) const {
         counters::add_int(hi - lo);
       });
       // Triad: a = b + s * c
-      pool.parallel_for_n(workers, n, [&](std::size_t lo, std::size_t hi,
+      ctx.parallel_for_n(workers, n, [&](std::size_t lo, std::size_t hi,
                                           unsigned) {
         for (std::size_t i = lo; i < hi; ++i) a[i] = b[i] + kScalar * c[i];
         counters::add_fp64(2 * (hi - lo));
@@ -75,7 +76,7 @@ model::WorkloadMeasurement BabelStream::run(const RunConfig& cfg) const {
       });
       // Dot: sum += a * b  (deterministic slot reduction)
       SlotReduce dot(workers);
-      pool.parallel_for_n(workers, n, [&](std::size_t lo, std::size_t hi,
+      ctx.parallel_for_n(workers, n, [&](std::size_t lo, std::size_t hi,
                                           unsigned tid) {
         double local = 0.0;
         for (std::size_t i = lo; i < hi; ++i) local += a[i] * b[i];
@@ -127,7 +128,9 @@ model::WorkloadMeasurement BabelStream::run(const RunConfig& cfg) const {
 
 double BabelStream::host_triad_gbs(std::size_t n, int reps) const {
   AlignedBuffer<double> a(n, 0.1), b(n, 0.2), c(n, 0.3);
-  auto& pool = ThreadPool::global();
+  // Raw host-bandwidth probe: no counting, so a plain private pool
+  // (hardware-sized) is all it needs.
+  ThreadPool pool;
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
     WallTimer t;

@@ -14,8 +14,9 @@ class BabelStream final : public KernelBase {
   /// `paper_gib` = per-vector size in the paper configuration (2 or 14).
   explicit BabelStream(double paper_gib);
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   /// Host-measured Triad bandwidth (GB/s) — used by the Table I bench to
   /// demonstrate the measurement path on real hardware.

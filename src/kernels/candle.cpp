@@ -29,10 +29,10 @@ constexpr double kPaperBatch = 100;
 constexpr double kPaperSteps = 70;
 
 // C[m x n] += A[m x k] * B[k x n], FP32, with counting.
-void gemm_acc(const float* a, const float* b, float* c, std::uint64_t m,
-              std::uint64_t k, std::uint64_t n, unsigned workers,
-              bool zero_first) {
-  ThreadPool::global().parallel_for_n(
+void gemm_acc(ExecutionContext& ctx, const float* a, const float* b,
+              float* c, std::uint64_t m, std::uint64_t k, std::uint64_t n,
+              unsigned workers, bool zero_first) {
+  ctx.parallel_for_n(
       workers, m, [&](std::size_t lo, std::size_t hi, unsigned) {
         for (std::size_t i = lo; i < hi; ++i) {
           float* row = c + i * n;
@@ -54,9 +54,10 @@ void gemm_acc(const float* a, const float* b, float* c, std::uint64_t m,
 
 // C[m x n] = A[m x k] * B^T where B is [n x k], FP32, with counting.
 // Used for the backward data gradients (G * W^T).
-void gemm_bt(const float* a, const float* b, float* c, std::uint64_t m,
-             std::uint64_t k, std::uint64_t n, unsigned workers) {
-  ThreadPool::global().parallel_for_n(
+void gemm_bt(ExecutionContext& ctx, const float* a, const float* b,
+             float* c, std::uint64_t m, std::uint64_t k, std::uint64_t n,
+             unsigned workers) {
+  ctx.parallel_for_n(
       workers, m, [&](std::size_t lo, std::size_t hi, unsigned) {
         for (std::size_t i = lo; i < hi; ++i) {
           for (std::uint64_t j = 0; j < n; ++j) {
@@ -90,13 +91,14 @@ Candle::Candle()
           .paper_input = "P1B1 autoencoder on gene expression data",
       }) {}
 
-model::WorkloadMeasurement Candle::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Candle::run(ExecutionContext& ctx,
+                                       const RunConfig& cfg) const {
   const std::uint64_t in = scaled_n(kIn, std::sqrt(cfg.scale));
   const std::uint64_t hid = scaled_n(kHidden, std::sqrt(cfg.scale));
   const std::uint64_t lat = kLatent;
   const std::uint64_t batch = kBatch;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Synthetic expression data in [0, 1] and Glorot-ish weights.
   Xoshiro256 rng(cfg.seed);
@@ -135,7 +137,7 @@ model::WorkloadMeasurement Candle::run(const RunConfig& cfg) const {
   auto weight_update = [&](const float* xact, const float* grad, float* w,
                            std::uint64_t rows, std::uint64_t cols) {
     const float lr = 0.01f / static_cast<float>(batch);
-    pool.parallel_for_n(workers, rows,
+    ctx.parallel_for_n(workers, rows,
                         [&](std::size_t lo, std::size_t hi, unsigned) {
                           for (std::size_t r = lo; r < hi; ++r) {
                             for (std::uint64_t c = 0; c < cols; ++c) {
@@ -155,19 +157,19 @@ model::WorkloadMeasurement Candle::run(const RunConfig& cfg) const {
   };
 
   double loss0 = 0.0, loss = 0.0;
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int step = 0; step < kSteps; ++step) {
       // Forward.
-      gemm_acc(data.data(), w1.data(), h1.data(), batch, in, hid, workers,
+      gemm_acc(ctx, data.data(), w1.data(), h1.data(), batch, in, hid, workers,
                true);
       relu(h1.data(), batch * hid);
-      gemm_acc(h1.data(), w2.data(), h2.data(), batch, hid, lat, workers,
+      gemm_acc(ctx, h1.data(), w2.data(), h2.data(), batch, hid, lat, workers,
                true);
       relu(h2.data(), batch * lat);
-      gemm_acc(h2.data(), w3.data(), h3.data(), batch, lat, hid, workers,
+      gemm_acc(ctx, h2.data(), w3.data(), h3.data(), batch, lat, hid, workers,
                true);
       relu(h3.data(), batch * hid);
-      gemm_acc(h3.data(), w4.data(), out.data(), batch, hid, in, workers,
+      gemm_acc(ctx, h3.data(), w4.data(), out.data(), batch, hid, in, workers,
                true);
       // MSE loss and output gradient.
       double l = 0.0;
@@ -182,13 +184,13 @@ model::WorkloadMeasurement Candle::run(const RunConfig& cfg) const {
       loss = l;
       // Backward: grad through decoder and encoder (weight grads + data
       // grads via GEMMs with transposes; counted identically).
-      gemm_bt(g_out.data(), w4.data(), g_h3.data(), batch, in, hid, workers);
+      gemm_bt(ctx, g_out.data(), w4.data(), g_h3.data(), batch, in, hid, workers);
       weight_update(h3.data(), g_out.data(), w4.data(), hid, in);
       relu_grad(h3.data(), g_h3.data(), batch * hid);
-      gemm_bt(g_h3.data(), w3.data(), g_h2.data(), batch, hid, lat, workers);
+      gemm_bt(ctx, g_h3.data(), w3.data(), g_h2.data(), batch, hid, lat, workers);
       weight_update(h2.data(), g_h3.data(), w3.data(), lat, hid);
       relu_grad(h2.data(), g_h2.data(), batch * lat);
-      gemm_bt(g_h2.data(), w2.data(), g_h1.data(), batch, lat, hid, workers);
+      gemm_bt(ctx, g_h2.data(), w2.data(), g_h1.data(), batch, lat, hid, workers);
       weight_update(h1.data(), g_h2.data(), w2.data(), hid, lat);
       relu_grad(h1.data(), g_h1.data(), batch * hid);
       weight_update(data.data(), g_h1.data(), w1.data(), in, hid);

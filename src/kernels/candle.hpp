@@ -13,8 +13,9 @@ class Candle final : public KernelBase {
  public:
   Candle();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 };
 
 }  // namespace fpr::kernels

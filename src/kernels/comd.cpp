@@ -37,13 +37,14 @@ CoMd::CoMd()
           .paper_input = "LJ potential, 256,000 atoms, strong scaling",
       }) {}
 
-model::WorkloadMeasurement CoMd::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement CoMd::run(ExecutionContext& ctx,
+                                     const RunConfig& cfg) const {
   const std::uint64_t nc = scaled_dim(kRunCells, cfg.scale);
   const std::uint64_t ncells = nc * nc * nc;
   const std::uint64_t natoms = ncells * kAtomsPerCell;
   const double box = static_cast<double>(nc) * kCellSize;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   Atoms a;
   a.x.resize(natoms);
@@ -112,7 +113,7 @@ model::WorkloadMeasurement CoMd::run(const RunConfig& cfg) const {
     std::fill(a.fy.begin(), a.fy.end(), 0.0);
     std::fill(a.fz.begin(), a.fz.end(), 0.0);
     SlotReduce pot(workers);
-    pool.parallel_for_n(
+    ctx.parallel_for_n(
         workers, ncells, [&](std::size_t lo, std::size_t hi, unsigned tid) {
           std::uint64_t fp = 0, sp = 0, iops = 0, pairs = 0;
           double local_pot = 0.0;
@@ -180,7 +181,7 @@ model::WorkloadMeasurement CoMd::run(const RunConfig& cfg) const {
     potential = pot.sum();
   };
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int step = 0; step < kRunSteps; ++step) {
       build_cells();
       compute_forces();

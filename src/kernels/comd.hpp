@@ -12,8 +12,9 @@ class CoMd final : public KernelBase {
  public:
   CoMd();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperAtoms = 256000;
   static constexpr int kPaperSteps = 100;

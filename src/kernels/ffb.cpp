@@ -29,11 +29,12 @@ Ffb::Ffb()
           .paper_input = "3-D cavity flow, 50x50x50 cubes",
       }) {}
 
-model::WorkloadMeasurement Ffb::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Ffb::run(ExecutionContext& ctx,
+                                    const RunConfig& cfg) const {
   const std::uint64_t d = scaled_dim(kRunDim, cfg.scale);
   const std::uint64_t n = d * d * d;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Collocated fractional-step scheme in FP32 (as FFB computes), with
   // FP64 only for global reductions — matching the Fig. 1 mix.
@@ -58,10 +59,10 @@ model::WorkloadMeasurement Ffb::run(const RunConfig& cfg) const {
   apply_bc();
 
   double final_div = 0.0, initial_ke = 0.0, final_ke = 0.0;
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int step = 0; step < kRunSteps; ++step) {
       // --- Advection-diffusion (explicit upwind + central diffusion).
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, d - 2, [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t sp = 0, iops = 0;
             for (std::size_t zz = lo; zz < hi; ++zz) {
@@ -114,7 +115,7 @@ model::WorkloadMeasurement Ffb::run(const RunConfig& cfg) const {
       apply_bc();
 
       // --- Divergence.
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, d - 2, [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t sp = 0;
             for (std::size_t zz = lo; zz < hi; ++zz) {
@@ -138,7 +139,7 @@ model::WorkloadMeasurement Ffb::run(const RunConfig& cfg) const {
 
       // --- Pressure Poisson (Jacobi, FP32).
       for (int pit = 0; pit < kPressureIters; ++pit) {
-        pool.parallel_for_n(
+        ctx.parallel_for_n(
             workers, d - 2, [&](std::size_t lo, std::size_t hi, unsigned) {
               std::uint64_t sp = 0, iops = 0;
               for (std::size_t zz = lo; zz < hi; ++zz) {
@@ -165,7 +166,7 @@ model::WorkloadMeasurement Ffb::run(const RunConfig& cfg) const {
       }
 
       // --- Projection.
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, d - 2, [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t sp = 0;
             for (std::size_t zz = lo; zz < hi; ++zz) {

@@ -14,8 +14,9 @@ class Ffb final : public KernelBase {
  public:
   Ffb();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   // 50x50x50 cubes of quadratic elements ~ 101^3 FE nodes.
   static constexpr std::uint64_t kPaperDim = 101;

@@ -29,11 +29,12 @@ Ffvc::Ffvc()
           .paper_input = "3-D cavity flow, 144^3 cuboid (FVM)",
       }) {}
 
-model::WorkloadMeasurement Ffvc::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Ffvc::run(ExecutionContext& ctx,
+                                     const RunConfig& cfg) const {
   const std::uint64_t d = scaled_dim(kRunDim, cfg.scale);
   const std::uint64_t n = d * d * d;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Cell-centered FVM with face fluxes. FFVC encodes boundary/medium
   // state in a per-cell integer mask (bcd[] in the original) — consulted
@@ -68,10 +69,10 @@ model::WorkloadMeasurement Ffvc::run(const RunConfig& cfg) const {
   apply_bc();
 
   double final_ke = 0.0, mass_defect = 0.0;
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int step = 0; step < kRunSteps; ++step) {
       // --- Face-flux convection-diffusion with MUSCL-style face states.
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, d - 2, [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t sp = 0, iops = 0, branches = 0;
             for (std::size_t zz = lo; zz < hi; ++zz) {
@@ -131,7 +132,7 @@ model::WorkloadMeasurement Ffvc::run(const RunConfig& cfg) const {
       apply_bc();
 
       // --- Divergence + red/black SOR pressure solve.
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, d - 2, [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t sp = 0;
             for (std::size_t zz = lo; zz < hi; ++zz) {
@@ -154,7 +155,7 @@ model::WorkloadMeasurement Ffvc::run(const RunConfig& cfg) const {
       const float omega = 1.5f;
       for (int sor = 0; sor < kSorIters; ++sor) {
         for (int color = 0; color < 2; ++color) {
-          pool.parallel_for_n(
+          ctx.parallel_for_n(
               workers, d - 2,
               [&](std::size_t lo, std::size_t hi, unsigned) {
                 std::uint64_t sp = 0, iops = 0;
@@ -185,7 +186,7 @@ model::WorkloadMeasurement Ffvc::run(const RunConfig& cfg) const {
       }
 
       // --- Projection.
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, d - 2, [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t sp = 0;
             for (std::size_t zz = lo; zz < hi; ++zz) {

@@ -13,8 +13,9 @@ class Ffvc final : public KernelBase {
  public:
   Ffvc();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperDim = 144;
   static constexpr int kPaperSteps = 300;

@@ -112,12 +112,13 @@ Hpcg::Hpcg()
           .paper_input = "360x360x360 global problem, Intel binary",
       }) {}
 
-model::WorkloadMeasurement Hpcg::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Hpcg::run(ExecutionContext& ctx,
+                                     const RunConfig& cfg) const {
   const std::uint64_t d = scaled_dim(kRunDim, cfg.scale);
   const Grid g{d, d, d};
   const std::uint64_t n = g.rows();
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   AlignedBuffer<double> b(n, 1.0), x(n, 0.0), rvec(n), z(n), p(n), ap(n);
 
@@ -129,7 +130,7 @@ model::WorkloadMeasurement Hpcg::run(const RunConfig& cfg) const {
     return s;
   };
   auto par_spmv = [&](const double* in, double* out) {
-    pool.parallel_for_n(workers, n,
+    ctx.parallel_for_n(workers, n,
                         [&](std::size_t lo, std::size_t hi, unsigned) {
                           const std::uint64_t fp = spmv_range(g, in, out, lo, hi);
                           counters::add_fp64(fp);
@@ -140,7 +141,7 @@ model::WorkloadMeasurement Hpcg::run(const RunConfig& cfg) const {
   };
 
   double res0 = 0.0, res = 0.0;
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     // r = b - A*x0 = b.
     std::copy(b.begin(), b.end(), rvec.begin());
     res0 = std::sqrt(dot(rvec.data(), rvec.data()));

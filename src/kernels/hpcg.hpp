@@ -13,8 +13,9 @@ class Hpcg final : public KernelBase {
  public:
   Hpcg();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperDim = 360;
   static constexpr int kPaperIters = 50;

@@ -36,11 +36,12 @@ Hpl::Hpl()
           .paper_input = "dense Ax=b, N=64512, Intel-optimized binary",
       }) {}
 
-model::WorkloadMeasurement Hpl::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Hpl::run(ExecutionContext& ctx,
+                                    const RunConfig& cfg) const {
   const std::uint64_t n =
       std::max<std::uint64_t>(2 * kBlock, scaled_dim(kRunN, cfg.scale));
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Random diagonally-dominant-ish system (HPL uses uniform [-0.5, 0.5]).
   AlignedBuffer<double> storage(n * n);
@@ -56,7 +57,7 @@ model::WorkloadMeasurement Hpl::run(const RunConfig& cfg) const {
 
   std::vector<std::uint64_t> piv(n);
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     // Blocked right-looking LU with partial pivoting.
     for (std::uint64_t k0 = 0; k0 < n; k0 += kBlock) {
       const std::uint64_t kb = std::min(kBlock, n - k0);
@@ -118,7 +119,7 @@ model::WorkloadMeasurement Hpl::run(const RunConfig& cfg) const {
 
       // --- Trailing update: A22 -= L21 * U12 (the GEMM; bulk of flops).
       const std::uint64_t jcols = n - (k0 + kb);
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, jcols,
           [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t fp = 0, iops = 0;

@@ -13,8 +13,9 @@ class Hpl final : public KernelBase {
  public:
   Hpl();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   /// The paper's problem size.
   static constexpr std::uint64_t kPaperN = 64512;

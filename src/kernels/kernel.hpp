@@ -19,6 +19,10 @@
 
 #include "model/workload.hpp"
 
+namespace fpr {
+class ExecutionContext;
+}
+
 namespace fpr::kernels {
 
 /// Benchmark suite of origin (paper Sec. II-B).
@@ -83,10 +87,20 @@ class ProxyKernel {
 
   [[nodiscard]] virtual const KernelInfo& info() const = 0;
 
-  /// Execute the kernel (init -> assayed solver -> verify) and report.
-  /// Throws std::runtime_error if self-verification fails.
+  /// Execute the kernel (init -> assayed solver -> verify) inside `ctx`
+  /// and report. The run parallelizes on the context's pool and counts
+  /// into the context's sink, so concurrent runs in separate contexts
+  /// are fully isolated. Throws std::runtime_error if self-verification
+  /// fails.
   [[nodiscard]] virtual model::WorkloadMeasurement run(
-      const RunConfig& cfg) const = 0;
+      ExecutionContext& ctx, const RunConfig& cfg) const = 0;
+
+  /// Convenience: run inside a fresh private context sized to
+  /// cfg.threads. The context (and its worker pool) lives for this one
+  /// call — callers running kernels repeatedly should construct one
+  /// ExecutionContext and use the overload above, as methodology's
+  /// repeat loops do.
+  [[nodiscard]] model::WorkloadMeasurement run(const RunConfig& cfg) const;
 };
 
 /// All kernels in the paper's presentation order (AMG .. HPL, HPCG,

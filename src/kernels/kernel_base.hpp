@@ -4,9 +4,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
-#include "common/thread_pool.hpp"
+#include "common/execution_context.hpp"
 #include "counters/assay.hpp"
 #include "counters/registry.hpp"
 #include "kernels/kernel.hpp"
@@ -38,11 +39,17 @@ class KernelBase : public ProxyKernel {
     return v > 1 ? v : 1;
   }
 
-  /// Run `solver` inside an assay region on the global pool, return the
-  /// measured ops and seconds. Mirrors PseudoCode 1 of the paper.
+  /// Run `solver` inside an assay region bound to `ctx`, return the
+  /// measured ops and seconds. Mirrors PseudoCode 1 of the paper. The
+  /// orchestrating thread is bound to the context's sink for the whole
+  /// region (parallel regions bind their workers themselves), so every
+  /// count the solver makes — serial sections included — lands in the
+  /// context and nowhere else.
   template <typename Solver>
-  static counters::AssayRecorder assayed(Solver&& solver) {
-    counters::AssayRecorder rec;
+  static counters::AssayRecorder assayed(ExecutionContext& ctx,
+                                         Solver&& solver) {
+    ExecutionContext::Scope bind(ctx);
+    counters::AssayRecorder rec(&ctx.counters());
     {
       counters::ScopedAssay scope(rec);
       solver();

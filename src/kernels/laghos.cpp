@@ -32,13 +32,14 @@ Laghos::Laghos()
           .paper_input = "2-D Sedov blast wave, default settings",
       }) {}
 
-model::WorkloadMeasurement Laghos::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Laghos::run(ExecutionContext& ctx,
+                                       const RunConfig& cfg) const {
   const std::uint64_t nz = scaled_dim(kRunZones, std::pow(cfg.scale, 1.5));
   const std::uint64_t nn = nz + 1;  // node grid
   const std::uint64_t zones = nz * nz;
   const std::uint64_t nodes = nn * nn;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Staggered scheme: thermodynamics on zones, kinematics on nodes.
   std::vector<double> rho(zones, 1.0), e(zones, 1e-6), zvol(zones);
@@ -84,7 +85,7 @@ model::WorkloadMeasurement Laghos::run(const RunConfig& cfg) const {
   for (std::uint64_t z = 0; z < zones; ++z) total_e0 += rho[z] * zvol[z] * e[z];
 
   double dt = 1e-4;
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int step = 0; step < kRunSteps; ++step) {
       // --- Corner-force assembly: per zone, loop quadrature points,
       // gather node coords/velocities, compute pressure + artificial
@@ -94,7 +95,7 @@ model::WorkloadMeasurement Laghos::run(const RunConfig& cfg) const {
       // Zones are processed in stripes so force scatter does not race.
       const std::uint64_t stripes = 2;
       for (std::uint64_t par = 0; par < stripes; ++par) {
-        pool.parallel_for_n(
+        ctx.parallel_for_n(
             workers, nz / stripes + 1,
             [&](std::size_t lo, std::size_t hi, unsigned) {
               std::uint64_t fp = 0, iops = 0;

@@ -14,8 +14,9 @@ class Laghos final : public KernelBase {
  public:
   Laghos();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 };
 
 }  // namespace fpr::kernels

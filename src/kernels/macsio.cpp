@@ -25,7 +25,8 @@ MacsIo::MacsIo()
           .paper_input = "433.8 MB written to disk",
       }) {}
 
-model::WorkloadMeasurement MacsIo::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement MacsIo::run(ExecutionContext& ctx,
+                                       const RunConfig& cfg) const {
   const std::uint64_t total = scaled_n(kRunBytes, cfg.scale);
 
   // MACSio emits self-describing dumps: generate mesh-like payload
@@ -38,7 +39,7 @@ model::WorkloadMeasurement MacsIo::run(const RunConfig& cfg) const {
   Xoshiro256 rng(cfg.seed);
   std::uint64_t check = 0;
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     std::uint64_t written = 0;
     std::uint64_t iops = 0, fp = 0;
     while (written < total) {

@@ -13,8 +13,9 @@ class MacsIo final : public KernelBase {
  public:
   MacsIo();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr double kPaperBytes = 433.8e6;
 };

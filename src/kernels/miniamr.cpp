@@ -43,10 +43,11 @@ MiniAmr::MiniAmr()
           .paper_input = "sphere moving diagonally through a cubic medium",
       }) {}
 
-model::WorkloadMeasurement MiniAmr::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement MiniAmr::run(ExecutionContext& ctx,
+                                        const RunConfig& cfg) const {
   const std::uint64_t root = scaled_dim(kRunRoot, cfg.scale);
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   std::vector<Block> blocks;
   const double rh = 1.0 / static_cast<double>(root);
@@ -63,7 +64,7 @@ model::WorkloadMeasurement MiniAmr::run(const RunConfig& cfg) const {
   std::uint64_t refinements = 0, coarsenings = 0;
   double field_sum = 0.0;
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int step = 0; step < kRunSteps; ++step) {
       // The moving sphere (diagonal trajectory).
       const double t = static_cast<double>(step) / kRunSteps;
@@ -113,7 +114,7 @@ model::WorkloadMeasurement MiniAmr::run(const RunConfig& cfg) const {
       blocks.swap(next);
 
       // --- 7-point stencil sweep over all active blocks.
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, blocks.size(),
           [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t fp = 0, ii = 0;

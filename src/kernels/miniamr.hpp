@@ -12,8 +12,9 @@ class MiniAmr final : public KernelBase {
  public:
   MiniAmr();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 };
 
 }  // namespace fpr::kernels

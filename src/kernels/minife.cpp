@@ -34,12 +34,13 @@ MiniFe::MiniFe()
           .paper_input = "128x128x128 unstructured 3-D grid",
       }) {}
 
-model::WorkloadMeasurement MiniFe::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement MiniFe::run(ExecutionContext& ctx,
+                                       const RunConfig& cfg) const {
   const std::uint64_t ne = scaled_dim(kRunDim, cfg.scale);  // elements/dim
   const std::uint64_t nn = ne + 1;                          // nodes/dim
   const std::uint64_t nodes = nn * nn * nn;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   auto node_id = [&](std::uint64_t x, std::uint64_t y, std::uint64_t z) {
     return x + nn * (y + nn * z);
@@ -48,7 +49,7 @@ model::WorkloadMeasurement MiniFe::run(const RunConfig& cfg) const {
   Csr A;
   A.n = nodes;
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     // --- Assembly: per-element 8x8 hex stiffness scattered into a
     // row-wise map, then compressed to CSR. Int-dominated.
     std::vector<std::map<std::uint32_t, double>> rows(nodes);
@@ -108,7 +109,7 @@ model::WorkloadMeasurement MiniFe::run(const RunConfig& cfg) const {
     AlignedBuffer<double> xref(nodes, 1.0), b(nodes), x(nodes, 0.0),
         r(nodes), p(nodes), ap(nodes);
     auto spmv = [&](const double* in, double* out) {
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, nodes, [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t f2 = 0;
             for (std::size_t row = lo; row < hi; ++row) {

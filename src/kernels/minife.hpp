@@ -12,8 +12,9 @@ class MiniFe final : public KernelBase {
  public:
   MiniFe();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperDim = 128;
   static constexpr int kPaperIters = 200;

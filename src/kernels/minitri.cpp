@@ -67,19 +67,20 @@ MiniTri::MiniTri()
           .paper_input = "BCSSTK30 triangle detection + clique bound",
       }) {}
 
-model::WorkloadMeasurement MiniTri::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement MiniTri::run(ExecutionContext& ctx,
+                                        const RunConfig& cfg) const {
   const std::uint64_t n = scaled_n(kRunVerts, cfg.scale);
   const Graph g = build_banded(n, kBand);
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   std::atomic<std::uint64_t> triangles{0};
   std::atomic<std::uint64_t> max_tri_per_edge{0};
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     // Edge-iterator triangle counting with sorted-list intersection;
     // each triangle is found once via the u < v < w ordering.
-    pool.parallel_for_n(
+    ctx.parallel_for_n(
         workers, g.n, [&](std::size_t lo, std::size_t hi, unsigned) {
           std::uint64_t local = 0, iops = 0, branches = 0, best_edge = 0;
           for (std::size_t u = lo; u < hi; ++u) {

@@ -13,8 +13,9 @@ class MiniTri final : public KernelBase {
  public:
   MiniTri();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 };
 
 }  // namespace fpr::kernels

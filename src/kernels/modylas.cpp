@@ -35,13 +35,14 @@ Modylas::Modylas()
           .paper_input = "wat222: 156,240 atoms over 16^3 cells (FMM)",
       }) {}
 
-model::WorkloadMeasurement Modylas::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Modylas::run(ExecutionContext& ctx,
+                                        const RunConfig& cfg) const {
   const std::uint64_t nc = scaled_dim(kRunCellDim, cfg.scale);
   const std::uint64_t ncells = nc * nc * nc;
   const std::uint64_t natoms = ncells * kAtomsPerCell;
   const double box = static_cast<double>(nc) * kCell;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   std::vector<double> x(natoms), y(natoms), z(natoms), q(natoms);
   std::vector<double> fx(natoms), fy(natoms), fz(natoms);
@@ -64,7 +65,7 @@ model::WorkloadMeasurement Modylas::run(const RunConfig& cfg) const {
     return cx + nc * (cy + nc * cz);
   };
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int step = 0; step < kRunSteps; ++step) {
       // --- P2M: bin atoms and build monopole+dipole per cell.
       for (auto& c : cells) {
@@ -96,7 +97,7 @@ model::WorkloadMeasurement Modylas::run(const RunConfig& cfg) const {
       counters::add_write_bytes(ncells * 56);
 
       // --- Forces: P2P for the 27-cell neighbourhood, M2P beyond.
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, ncells, [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t lfp = 0, lio = 0, lbr = 0;
             for (std::size_t c = lo; c < hi; ++c) {

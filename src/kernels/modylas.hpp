@@ -15,8 +15,9 @@ class Modylas final : public KernelBase {
  public:
   Modylas();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperAtoms = 156240;
   static constexpr int kPaperSteps = 100;

@@ -53,10 +53,11 @@ MVmc::MVmc()
           .paper_input = "quantum lattice strong-scaling test, downsized",
       }) {}
 
-model::WorkloadMeasurement MVmc::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement MVmc::run(ExecutionContext& ctx,
+                                     const RunConfig& cfg) const {
   const std::uint64_t n = scaled_n(kRunN, std::sqrt(cfg.scale));
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Slater-like matrix: orbital amplitudes, diagonally enhanced so it is
   // comfortably non-singular.
@@ -70,7 +71,7 @@ model::WorkloadMeasurement MVmc::run(const RunConfig& cfg) const {
   double logdet_running = 0.0;
   std::uint64_t accepted = 0, proposed = 0;
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     // Invert phi into w.
     {
       std::vector<double> a = phi;
@@ -137,7 +138,7 @@ model::WorkloadMeasurement MVmc::run(const RunConfig& cfg) const {
           for (std::uint64_t j = 0; j < n; ++j) wk[j] = w[j * n + k];
           // u = v - old row; W'_{jl} = W_jl - wk_j * (v.W_l - delta)/ratio
           std::vector<double> vw(n, 0.0);
-          pool.parallel_for_n(
+          ctx.parallel_for_n(
               workers, n, [&](std::size_t lo, std::size_t hi, unsigned) {
                 std::uint64_t fp = 0;
                 for (std::size_t l = lo; l < hi; ++l) {
@@ -151,7 +152,7 @@ model::WorkloadMeasurement MVmc::run(const RunConfig& cfg) const {
                 counters::add_fp64(fp);
                 counters::add_read_bytes(fp * 8);
               });
-          pool.parallel_for_n(
+          ctx.parallel_for_n(
               workers, n, [&](std::size_t lo, std::size_t hi, unsigned) {
                 std::uint64_t fp = 0;
                 for (std::size_t j = lo; j < hi; ++j) {

@@ -14,8 +14,9 @@ class MVmc final : public KernelBase {
  public:
   MVmc();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperN = 512;      // electrons
   static constexpr std::uint64_t kPaperSweeps = 4000;

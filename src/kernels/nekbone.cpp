@@ -57,11 +57,12 @@ Nekbone::Nekbone()
                          "fixed elements/process and order",
       }) {}
 
-model::WorkloadMeasurement Nekbone::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Nekbone::run(ExecutionContext& ctx,
+                                        const RunConfig& cfg) const {
   const std::uint64_t ne = scaled_n(kRunElems, cfg.scale);
   const std::uint64_t npts = ne * kP * kP * kP;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // SPD 1-D operator: diag dominant symmetric.
   AlignedBuffer<double> d(kP * kP, 0.0);
@@ -84,7 +85,7 @@ model::WorkloadMeasurement Nekbone::run(const RunConfig& cfg) const {
   }
 
   auto apply_A = [&](const double* in, double* out) {
-    pool.parallel_for_n(
+    ctx.parallel_for_n(
         workers, ne, [&](std::size_t lo, std::size_t hi, unsigned) {
           for (std::size_t e = lo; e < hi; ++e) {
             element_op(d.data(), in + e * kP * kP * kP,
@@ -107,7 +108,7 @@ model::WorkloadMeasurement Nekbone::run(const RunConfig& cfg) const {
     return s;
   };
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     apply_A(xref.data(), b.data());
     std::copy(b.begin(), b.end(), r.begin());
     std::copy(b.begin(), b.end(), p.begin());

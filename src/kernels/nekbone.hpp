@@ -13,8 +13,9 @@ class Nekbone final : public KernelBase {
  public:
   Nekbone();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr int kOrder = 10;  // polynomial order + 1 (nodes/dim)
   static constexpr std::uint64_t kPaperElems = 9216;

@@ -43,11 +43,12 @@ Ngsa::Ngsa()
           .paper_input = "pre-generated pseudo-genome (ngsa-dummy)",
       }) {}
 
-model::WorkloadMeasurement Ngsa::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Ngsa::run(ExecutionContext& ctx,
+                                     const RunConfig& cfg) const {
   const std::uint64_t glen = scaled_n(kRunGenome, cfg.scale);
   const std::uint64_t nreads = scaled_n(kRunReads, cfg.scale);
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Pseudo-genome (2-bit bases) and planted reads with point mutations.
   Xoshiro256 rng(cfg.seed);
@@ -72,7 +73,7 @@ model::WorkloadMeasurement Ngsa::run(const RunConfig& cfg) const {
 
   std::atomic<std::uint64_t> aligned_correct{0}, aligned_total{0};
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     // --- Index construction: sorted array of (seed key, position).
     std::vector<std::pair<std::uint64_t, std::uint32_t>> index;
     index.reserve(glen - kSeedLen);
@@ -90,7 +91,7 @@ model::WorkloadMeasurement Ngsa::run(const RunConfig& cfg) const {
     counters::add_write_bytes(index.size() * 12);
 
     // --- Alignment: seed lookup + banded edit-distance extension.
-    pool.parallel_for_n(
+    ctx.parallel_for_n(
         workers, nreads, [&](std::size_t lo, std::size_t hi, unsigned) {
           std::uint64_t iops = 0, branches = 0, bytes = 0;
           std::uint64_t correct = 0, total = 0;

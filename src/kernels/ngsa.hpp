@@ -15,8 +15,9 @@ class Ngsa final : public KernelBase {
  public:
   Ngsa();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 };
 
 }  // namespace fpr::kernels

@@ -30,11 +30,12 @@ Nicam::Nicam()
           .paper_input = "Jablonowski baroclinic wave, gl05rl00z40, 1 day",
       }) {}
 
-model::WorkloadMeasurement Nicam::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Nicam::run(ExecutionContext& ctx,
+                                      const RunConfig& cfg) const {
   const std::uint64_t cols_req = scaled_n(kRunCols, cfg.scale);
   const std::uint64_t lev = kRunLevels;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Icosahedral-like mesh: columns on a quasi-uniform torus lattice,
   // each with 6 horizontal neighbours. The grid is exactly ring x rows
@@ -80,9 +81,9 @@ model::WorkloadMeasurement Nicam::run(const RunConfig& cfg) const {
   double mass0 = 0.0;
   for (std::uint64_t i = 0; i < n; ++i) mass0 += rho[i];
 
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int step = 0; step < kRunSteps; ++step) {
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, cols, [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t fp = 0, iops = 0;
             for (std::size_t c = lo; c < hi; ++c) {

@@ -14,8 +14,9 @@ class Nicam final : public KernelBase {
  public:
   Nicam();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperColumns = 10242;  // gl05
   static constexpr std::uint64_t kPaperLevels = 40;

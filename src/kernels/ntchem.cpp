@@ -27,12 +27,13 @@ NtChem::NtChem()
           .paper_input = "MP2 solver, H2O test case",
       }) {}
 
-model::WorkloadMeasurement NtChem::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement NtChem::run(ExecutionContext& ctx,
+                                       const RunConfig& cfg) const {
   const std::uint64_t nbf = scaled_n(kRunBasis, std::cbrt(cfg.scale));
   const std::uint64_t nocc = kOcc;
   const std::uint64_t nvir = nbf - nocc;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Synthetic AO integrals with 8-fold-symmetric structure via a
   // low-rank Cholesky-like factorization: (uv|ls) = sum_p B[p,uv] B[p,ls].
@@ -84,8 +85,8 @@ model::WorkloadMeasurement NtChem::run(const RunConfig& cfg) const {
   std::vector<double> Bmo(rank * nocc * nvir);
   double emp2 = 0.0;
 
-  const auto rec = assayed([&] {
-    pool.parallel_for_n(
+  const auto rec = assayed(ctx, [&] {
+    ctx.parallel_for_n(
         workers, rank, [&](std::size_t lo, std::size_t hi, unsigned) {
           std::vector<double> half(nocc * nbf);
           std::uint64_t fp = 0, iops = 0;
@@ -127,7 +128,7 @@ model::WorkloadMeasurement NtChem::run(const RunConfig& cfg) const {
     // (eps_i + eps_j - eps_a - eps_b), with (ia|jb) = sum_p Bmo[p,i,a]
     // Bmo[p,j,b].
     SlotReduce energy(workers);
-    pool.parallel_for_n(
+    ctx.parallel_for_n(
         workers, nocc * nocc,
         [&](std::size_t lo, std::size_t hi, unsigned tid) {
           std::uint64_t fp = 0;

@@ -14,8 +14,9 @@ class NtChem final : public KernelBase {
  public:
   NtChem();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperBasis = 212;  // H2O aug-cc-pVQZ-ish
 };

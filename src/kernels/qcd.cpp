@@ -66,11 +66,12 @@ Qcd::Qcd()
           .paper_input = "Class 2: 32^3 x 32 lattice",
       }) {}
 
-model::WorkloadMeasurement Qcd::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Qcd::run(ExecutionContext& ctx,
+                                    const RunConfig& cfg) const {
   Lattice lat{std::max<std::uint64_t>(4, scaled_dim(kRunL, cfg.scale))};
   const std::uint64_t ns = lat.sites();
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Gauge links: SU(3)-like unitary matrices built from random unitary
   // rotations close to identity (cold-start configuration with noise).
@@ -110,7 +111,7 @@ model::WorkloadMeasurement Qcd::run(const RunConfig& cfg) const {
   // spin structure (diagonal projectors) that preserves the stencil and
   // arithmetic shape.
   auto dslash = [&](const std::vector<cplx>& in, std::vector<cplx>& out) {
-    pool.parallel_for_n(
+    ctx.parallel_for_n(
         workers, ns, [&](std::size_t lo, std::size_t hi, unsigned) {
           std::uint64_t fp = 0, iops = 0;
           cplx tmp[3], res[3];
@@ -180,7 +181,7 @@ model::WorkloadMeasurement Qcd::run(const RunConfig& cfg) const {
   };
 
   double res0 = 0.0, res_final = 0.0;
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     apply_A(x, ap);  // zero
     for (std::uint64_t i = 0; i < vec_len; ++i) r[i] = b[i] - ap[i];
     p = r;

@@ -13,8 +13,9 @@ class Qcd final : public KernelBase {
  public:
   Qcd();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperL = 32;  // 32^3 x 32 lattice
   static constexpr int kPaperIters = 200;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "common/execution_context.hpp"
 #include "kernels/kernel.hpp"
 
 // Kernel headers (paper order: ECP, RIKEN, reference).
@@ -32,6 +33,11 @@
 #include "kernels/xsbench.hpp"
 
 namespace fpr::kernels {
+
+model::WorkloadMeasurement ProxyKernel::run(const RunConfig& cfg) const {
+  ExecutionContext ctx(cfg.threads);
+  return run(ctx, cfg);
+}
 
 std::string_view to_string(Suite s) {
   switch (s) {

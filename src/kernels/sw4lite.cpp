@@ -31,11 +31,12 @@ Sw4Lite::Sw4Lite()
           .paper_input = "pointsource: wave from a point in a half-space",
       }) {}
 
-model::WorkloadMeasurement Sw4Lite::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement Sw4Lite::run(ExecutionContext& ctx,
+                                        const RunConfig& cfg) const {
   const std::uint64_t d = scaled_dim(kRunDim, cfg.scale);
   const std::uint64_t n = d * d * d;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Two time levels + velocity-like scratch (leapfrog).
   AlignedBuffer<double> u(n, 0.0), u_prev(n, 0.0), u_next(n, 0.0);
@@ -51,7 +52,7 @@ model::WorkloadMeasurement Sw4Lite::run(const RunConfig& cfg) const {
                 std::uint64_t z) { return f[x + d * (y + d * z)]; };
 
   double energy = 0.0;
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int step = 0; step < kRunSteps; ++step) {
       // Ricker-like source wavelet.
       const double t = static_cast<double>(step) * dt;
@@ -63,7 +64,7 @@ model::WorkloadMeasurement Sw4Lite::run(const RunConfig& cfg) const {
       // Interior radius-2 sweep (free-surface at z=0 handled by skipping
       // the boundary shell, as sw4lite's pointsource test effectively
       // does for this proxy's purposes).
-      pool.parallel_for_n(
+      ctx.parallel_for_n(
           workers, d - 4, [&](std::size_t lo, std::size_t hi, unsigned) {
             std::uint64_t fp = 0;
             for (std::size_t zz = lo; zz < hi; ++zz) {

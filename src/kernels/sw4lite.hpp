@@ -12,8 +12,9 @@ class Sw4Lite final : public KernelBase {
  public:
   Sw4Lite();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperDim = 256;
   static constexpr int kPaperSteps = 400;

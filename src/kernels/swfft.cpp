@@ -74,14 +74,15 @@ SwFft::SwFft()
           .paper_input = "32 reps of 3-D FFT on a 128^3 grid",
       }) {}
 
-model::WorkloadMeasurement SwFft::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement SwFft::run(ExecutionContext& ctx,
+                                      const RunConfig& cfg) const {
   std::uint64_t d = kRunDim;
   // Snap the scaled dimension to a power of two.
   const std::uint64_t want = scaled_dim(kRunDim, cfg.scale);
   d = std::bit_floor(std::max<std::uint64_t>(want, 8));
   const std::uint64_t n = d * d * d;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   AlignedBuffer<cplx> grid(n);
   Xoshiro256 rng(cfg.seed);
@@ -94,7 +95,7 @@ model::WorkloadMeasurement SwFft::run(const RunConfig& cfg) const {
 
   auto pass = [&](int dim, bool inverse) {
     // Apply 1-D FFTs along `dim` for all pencils, in parallel.
-    pool.parallel_for_n(
+    ctx.parallel_for_n(
         workers, d * d, [&](std::size_t lo, std::size_t hi, unsigned) {
           std::vector<cplx> pencil(d);
           std::uint64_t fp = 0, iops = 0;
@@ -131,7 +132,7 @@ model::WorkloadMeasurement SwFft::run(const RunConfig& cfg) const {
   };
 
   double sum2_freq = 0.0;
-  const auto rec = assayed([&] {
+  const auto rec = assayed(ctx, [&] {
     for (int rep = 0; rep < kRunReps; ++rep) {
       for (int dim = 0; dim < 3; ++dim) pass(dim, false);
       if (rep == 0) {

@@ -14,8 +14,9 @@ class SwFft final : public KernelBase {
  public:
   SwFft();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperDim = 128;
   static constexpr int kPaperReps = 32;

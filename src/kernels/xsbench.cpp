@@ -31,12 +31,13 @@ XsBench::XsBench()
           .paper_input = "large H-M reactor, 15e6 lookups/particle class",
       }) {}
 
-model::WorkloadMeasurement XsBench::run(const RunConfig& cfg) const {
+model::WorkloadMeasurement XsBench::run(ExecutionContext& ctx,
+                                        const RunConfig& cfg) const {
   const std::uint64_t lookups = scaled_n(kRunLookups, cfg.scale);
   const std::uint64_t grid = kRunGrid;
   const std::uint64_t nuc = kRunNuclides;
-  auto& pool = ThreadPool::global();
-  const unsigned workers = cfg.threads == 0 ? pool.size() + 1 : cfg.threads;
+  const unsigned workers =
+      cfg.threads == 0 ? ctx.concurrency() : cfg.threads;
 
   // Unionized energy grid (sorted) and per-nuclide xs tables.
   AlignedBuffer<double> egrid(grid);
@@ -66,8 +67,8 @@ model::WorkloadMeasurement XsBench::run(const RunConfig& cfg) const {
   }
 
   SlotReduce checksum(workers);
-  const auto rec = assayed([&] {
-    pool.parallel_for_n(
+  const auto rec = assayed(ctx, [&] {
+    ctx.parallel_for_n(
         workers, lookups, [&](std::size_t lo, std::size_t hi, unsigned tid) {
           Xoshiro256 rng(thread_seed(cfg.seed, tid) ^ lo);
           std::uint64_t fp = 0, iops = 0, branches = 0, bytes = 0;

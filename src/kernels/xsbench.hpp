@@ -13,8 +13,9 @@ class XsBench final : public KernelBase {
  public:
   XsBench();
 
+  using ProxyKernel::run;
   [[nodiscard]] model::WorkloadMeasurement run(
-      const RunConfig& cfg) const override;
+      ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr double kPaperLookups = 15e6;
   static constexpr std::uint64_t kPaperGrid = 11303;  // union grid points

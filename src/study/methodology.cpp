@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/execution_context.hpp"
+
 namespace fpr::study {
 
 std::vector<unsigned> parallelism_ladder(unsigned hw_threads) {
@@ -28,12 +30,15 @@ ParallelismChoice find_best_parallelism(const kernels::ProxyKernel& k,
 
   choice.best_seconds = -1.0;
   for (unsigned t : candidates) {
+    // One context per ladder rung, reused across repeats: repeated runs
+    // measure the kernel, not pool construction.
+    ExecutionContext ctx(t);
     double best = -1.0;
     for (int r = 0; r < repeats; ++r) {
       kernels::RunConfig rc;
       rc.threads = t;
       rc.scale = scale;
-      const auto m = k.run(rc);
+      const auto m = k.run(ctx, rc);
       if (best < 0.0 || m.host_seconds < best) best = m.host_seconds;
     }
     choice.tried.emplace_back(t, best);
@@ -48,10 +53,11 @@ ParallelismChoice find_best_parallelism(const kernels::ProxyKernel& k,
 PerformanceRun performance_run(const kernels::ProxyKernel& k,
                                const kernels::RunConfig& cfg, int repeats) {
   PerformanceRun out;
+  ExecutionContext ctx(cfg.threads);  // shared across repeats
   std::vector<double> samples;
   double best = -1.0;
   for (int r = 0; r < repeats; ++r) {
-    const auto m = k.run(cfg);
+    const auto m = k.run(ctx, cfg);
     samples.push_back(m.host_seconds);
     if (best < 0.0 || m.host_seconds < best) {
       best = m.host_seconds;

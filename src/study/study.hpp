@@ -41,10 +41,16 @@ struct StudyConfig {
   /// PRNG seed for the kernels' synthetic inputs (fixed => repeatable).
   std::uint64_t seed = 42;
   /// Engine workers for the per-machine (memsim + model + freq sweep)
-  /// stages (0 = hardware concurrency). The kernel-run stage is always
-  /// serial — kernels share the global pool and the process-wide op
-  /// tallies — so `jobs` never changes the results, only the wall time.
+  /// stages (0 = hardware concurrency). Never changes the results, only
+  /// the wall time.
   unsigned jobs = 1;
+  /// Concurrent instrumented kernel runs (the paper's per-workload
+  /// SDE/PCM stage; 0 = hardware concurrency). Each run executes in its
+  /// own ExecutionContext — a private worker pool of `threads` workers
+  /// plus a run-local counter sink — so concurrent runs cannot
+  /// cross-contaminate assay deltas, and any value produces the same
+  /// results byte for byte.
+  unsigned kernel_jobs = 1;
   /// Zero out the wall-clock field (host_seconds) of every measurement.
   /// This makes serialized results byte-stable across runs and jobs
   /// counts — the mode `fpr study` and the golden snapshot use.

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "arch/machines.hpp"
+#include "common/execution_context.hpp"
 #include "common/thread_pool.hpp"
 #include "model/exec_model.hpp"
 #include "model/memprofile.hpp"
@@ -41,20 +42,30 @@ StudyResults StudyEngine::run() {
     results.kernels[i].machines.resize(machines.size());
   }
 
-  const unsigned jobs = std::max(
-      1u, cfg_.jobs != 0 ? cfg_.jobs : std::thread::hardware_concurrency());
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned jobs = std::max(1u, cfg_.jobs != 0 ? cfg_.jobs : hw);
+  // More producers than kernels would only spawn threads (and, with
+  // threads=0, hardware-sized pools) that claim nothing — clamp.
+  const unsigned kernel_jobs = std::max<unsigned>(
+      1, std::min<std::size_t>(
+             cfg_.kernel_jobs != 0 ? cfg_.kernel_jobs : hw,
+             selected.size()));
 
-  // Scheduler state: the producer (engine worker 0) runs kernels
-  // serially and enqueues their (kernel, machine) stages; every worker
-  // (producer included, once it runs dry) drains the queue.
+  // Scheduler state: kernel_jobs producers claim kernel indices from a
+  // shared cursor and run each kernel in a private ExecutionContext
+  // (no shared pool, no shared tallies — runs are fully isolated), then
+  // enqueue the kernel's (kernel, machine) stages; the engine pool's
+  // workers drain the queue as measurements land.
   std::mutex mu;
   std::condition_variable cv;
   std::deque<std::pair<std::size_t, std::size_t>> ready;
+  unsigned live_producers = kernel_jobs;
   bool produced_all = false;
   bool aborted = false;
   std::exception_ptr error;
   std::atomic<std::uint64_t> machine_evals{0};
-  std::uint64_t kernel_runs = 0;  // producer-only, no sharing
+  std::atomic<std::uint64_t> kernel_runs{0};
+  std::atomic<std::size_t> next_kernel{0};
 
   auto abort_with = [&](std::exception_ptr e) {
     std::lock_guard lock(mu);
@@ -80,35 +91,44 @@ StudyResults StudyEngine::run() {
   };
 
   auto produce = [&] {
-    for (std::size_t ki = 0; ki < selected.size(); ++ki) {
-      {
-        std::lock_guard lock(mu);
-        if (aborted) break;
-      }
-      kernels::RunConfig rc;
-      rc.scale = cfg_.scale;
-      rc.threads = cfg_.threads;
-      rc.seed = cfg_.seed;
-      try {
-        auto meas = selected[ki]->run(rc);  // throws on failed verification
-        ++kernel_runs;
+    try {
+      // One context per producer, reused across the kernels it claims:
+      // a producer runs its kernels serially, so reuse keeps the
+      // isolation (and, since assays are snapshot deltas, the
+      // byte-identity) while avoiding a pool construction per kernel.
+      ExecutionContext ctx(cfg_.threads);
+      for (;;) {
+        {
+          std::lock_guard lock(mu);
+          if (aborted) break;
+        }
+        const std::size_t ki =
+            next_kernel.fetch_add(1, std::memory_order_relaxed);
+        if (ki >= selected.size()) break;
+        kernels::RunConfig rc;
+        rc.scale = cfg_.scale;
+        rc.threads = cfg_.threads;
+        rc.seed = cfg_.seed;
+        auto meas = selected[ki]->run(ctx, rc);  // throws on failed verify
+        kernel_runs.fetch_add(1, std::memory_order_relaxed);
         if (cfg_.canonical_timing) meas.host_seconds = 0.0;
         results.kernels[ki].meas = std::move(meas);
-      } catch (...) {
-        abort_with(std::current_exception());
-        break;
-      }
-      {
-        std::lock_guard lock(mu);
-        for (std::size_t mi = 0; mi < machines.size(); ++mi) {
-          ready.emplace_back(ki, mi);
+        {
+          std::lock_guard lock(mu);
+          for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+            ready.emplace_back(ki, mi);
+          }
         }
+        cv.notify_all();
       }
-      cv.notify_all();
+    } catch (...) {
+      // Kernel verification failure, or the context's pool could not be
+      // built: abort the study — nothing may escape a producer thread.
+      abort_with(std::current_exception());
     }
     {
       std::lock_guard lock(mu);
-      produced_all = true;
+      if (--live_producers == 0) produced_all = true;
     }
     cv.notify_all();
   };
@@ -137,17 +157,39 @@ StudyResults StudyEngine::run() {
     }
   };
 
-  // One engine worker per job slot; worker 0 (the calling thread) is the
-  // producer and joins the drain once every kernel has run.
-  ThreadPool pool(jobs);
-  pool.parallel_for(jobs, [&](std::size_t begin, std::size_t end, unsigned) {
-    for (std::size_t i = begin; i < end; ++i) {
-      if (i == 0) produce();
-      consume();
+  // Producers get dedicated threads (each spends its time inside kernel
+  // runs); the calling thread and the engine pool's workers drain the
+  // machine-stage queue. Producer exceptions never escape produce().
+  // The join guard makes every exit path safe: if spawning a producer
+  // or running the engine pool throws (thread exhaustion), the live
+  // producers are told to abort and joined before unwinding destroys
+  // the state they reference — a joinable std::thread destructor would
+  // otherwise call std::terminate.
+  ThreadPool pool(jobs);  // before any producer exists: may throw freely
+  std::vector<std::thread> producers;
+  producers.reserve(kernel_jobs);
+  struct ProducerJoiner {
+    std::vector<std::thread>& threads;
+    std::mutex& mu;
+    bool& aborted;
+    ~ProducerJoiner() {
+      {
+        std::lock_guard lock(mu);
+        aborted = true;  // no-op on the normal path: all producers done
+      }
+      for (auto& t : threads) {
+        if (t.joinable()) t.join();
+      }
     }
-  });
+  } joiner{producers, mu, aborted};
+  for (unsigned p = 0; p < kernel_jobs; ++p) producers.emplace_back(produce);
 
-  stats_.kernel_runs = kernel_runs;
+  pool.parallel_for(jobs, [&](std::size_t begin, std::size_t end, unsigned) {
+    for (std::size_t i = begin; i < end; ++i) consume();
+  });
+  for (auto& t : producers) t.join();
+
+  stats_.kernel_runs = kernel_runs.load(std::memory_order_relaxed);
   stats_.machine_evals = machine_evals.load(std::memory_order_relaxed);
   if (error) std::rethrow_exception(error);
   return results;
@@ -159,6 +201,7 @@ StudyConfig golden_config() {
   cfg.threads = 1;  // host-independent op counts and FP reductions
   cfg.trace_refs = 120'000;
   cfg.jobs = 1;
+  cfg.kernel_jobs = 1;
   cfg.canonical_timing = true;
   // One kernel per workload class: stencil, dense, gather, stream, I/O,
   // plus the paper's Phi-hostile outlier (branchy scalar code).

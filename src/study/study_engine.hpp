@@ -2,22 +2,28 @@
 //
 // The evaluation grid is one instrumented kernel run per kernel (the
 // paper's SDE/PCM step) feeding three per-machine stages (memory
-// simulation + model evaluation + frequency sweep) per kernel. The
-// kernel-run stage is inherently serial: kernels execute on the global
-// ThreadPool and count operations through process-wide thread-local
-// tallies, so two concurrent runs would race the pool's single job slot
-// and cross-contaminate each other's assay deltas. The per-machine
-// stages, by contrast, are pure functions of (CpuSpec, measurement) —
-// the engine therefore runs one producer that executes kernels in paper
-// order and streams (kernel, machine) jobs to the workers of an
-// engine-owned fpr::ThreadPool as soon as each measurement lands.
+// simulation + model evaluation + frequency sweep) per kernel. Both
+// axes fan out:
+//
+//  - kernel runs execute on up to cfg.kernel_jobs producer threads.
+//    Every run gets its own ExecutionContext (a private worker pool of
+//    cfg.threads workers plus a run-local counter sink), so concurrent
+//    runs share no mutable state — the de-globalization that lifted the
+//    old "kernel runs are inherently serial" constraint, which existed
+//    only because kernels used to count into process-wide thread-local
+//    tallies on a single global pool;
+//  - each finished measurement streams its (kernel, machine) stages —
+//    pure functions of (CpuSpec, measurement) — to the workers of an
+//    engine-owned pool of cfg.jobs threads.
 //
 // Guarantees:
 //  - each kernel's instrumented run executes exactly once, shared by all
 //    machine stages (stats().kernel_runs counts them);
 //  - results are slot-indexed, so ordering is deterministic — identical
-//    across any jobs count, and byte-identical once serialized when
-//    cfg.canonical_timing strips the only wall-clock field;
+//    across any (kernel_jobs, jobs) combination, and byte-identical once
+//    serialized when cfg.canonical_timing strips the only wall-clock
+//    field (op counts are analytic and chunking is static, so the
+//    parallel engine is a pure reordering of the serial pipeline);
 //  - a kernel-verification exception aborts fail-fast: queued machine
 //    jobs are dropped, no further kernel runs start, and run() rethrows
 //    the original exception.

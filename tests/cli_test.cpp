@@ -222,10 +222,23 @@ TEST(Cli, StudyCsvKeepsStdoutMachineParsable) {
   EXPECT_NE(r.out.find("Kernel,Machine,Bound"), std::string::npos);
 }
 
+TEST(Cli, StudyKernelJobsIsByteIdenticalToSerial) {
+  const auto serial = run_study_to("-", {"--kernel-jobs", "1"});
+  const auto parallel =
+      run_study_to("-", {"--kernel-jobs", "4", "--jobs", "2"});
+  EXPECT_EQ(serial.code, 0) << serial.err;
+  EXPECT_EQ(parallel.code, 0) << parallel.err;
+  EXPECT_EQ(serial.out, parallel.out);
+  EXPECT_NE(parallel.err.find("kernel-jobs=4"), std::string::npos);
+}
+
 TEST(Cli, StudyRejectsBadOptions) {
   EXPECT_EQ(run({"study", "--kernel", "NOPE"}).code, 2);
   EXPECT_EQ(run({"study", "--jobs", "-1"}).code, 2);
   EXPECT_EQ(run({"study", "--jobs", "9999999"}).code, 2);
+  EXPECT_EQ(run({"study", "--kernel-jobs", "-1"}).code, 2);
+  EXPECT_EQ(run({"study", "--kernel-jobs", "9999999"}).code, 2);
+  EXPECT_EQ(run({"study", "--kernel-jobs"}).code, 2);  // missing value
   EXPECT_EQ(run({"study", "--trace-refs", "0"}).code, 2);
   EXPECT_EQ(run({"study", "--out"}).code, 2);  // missing value
   EXPECT_EQ(run({"study", "stray"}).code, 2);

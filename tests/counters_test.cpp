@@ -1,14 +1,15 @@
-// Unit tests for the SDE-substitute: tallies, registry, counted<T>,
-// assay regions.
+// Unit tests for the SDE-substitute: tallies, context sinks, the
+// fallback registry, counted<T>, assay regions.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 #include <thread>
 
-#include "common/thread_pool.hpp"
+#include "common/execution_context.hpp"
 #include "counters/assay.hpp"
 #include "counters/counted.hpp"
 #include "counters/registry.hpp"
+#include "counters/sink.hpp"
 
 namespace fpr::counters {
 namespace {
@@ -27,6 +28,18 @@ TEST_F(CountersTest, TallyArithmetic) {
   EXPECT_EQ(sum.int_ops, 6u);
   const OpTally diff = sum - b;
   EXPECT_EQ(diff, a);
+}
+
+// The underflow footgun: subtracting a larger tally must trip the debug
+// assertion instead of wrapping to ~2^64 counts (a mis-nested assay
+// would otherwise silently report absurd totals). Release builds keep
+// the wrapping (the statement executes unchecked), which
+// EXPECT_DEBUG_DEATH also accepts.
+TEST_F(CountersTest, TallyDifferenceUnderflowDeath) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const OpTally small{.fp64 = 1};
+  const OpTally big{.fp64 = 2};
+  EXPECT_DEBUG_DEATH((void)(small - big), "underflow");
 }
 
 TEST_F(CountersTest, Shares) {
@@ -184,15 +197,77 @@ TEST_F(CountersTest, ScopedAssayStopsOnException) {
   EXPECT_EQ(rec.ops().fp64, 11u);
 }
 
-TEST_F(CountersTest, AssayCapturesPoolThreads) {
-  AssayRecorder rec;
+TEST_F(CountersTest, AssayCapturesContextWorkerThreads) {
+  ExecutionContext ctx(4);
+  AssayRecorder rec(&ctx.counters());
   rec.start();
-  ThreadPool::global().parallel_for(
-      64, [](std::size_t lo, std::size_t hi, unsigned) {
-        add_fp64(hi - lo);
-      });
+  ctx.parallel_for(64, [](std::size_t lo, std::size_t hi, unsigned) {
+    add_fp64(hi - lo);
+  });
   rec.stop();
   EXPECT_EQ(rec.ops().fp64, 64u);
+}
+
+// Satellite fix: start()/stop() while the context has an in-flight
+// parallel region used to be only a comment ("call ... while worker
+// threads are quiescent") — now it throws instead of tearing the
+// snapshot.
+TEST_F(CountersTest, AssayInsideParallelRegionThrows) {
+  ExecutionContext ctx(2);
+  AssayRecorder rec(&ctx.counters());
+  unsigned throws = 0;
+  ctx.parallel_for(8, [&](std::size_t lo, std::size_t, unsigned) {
+    if (lo != 0) return;  // probe once, from one worker
+    try {
+      rec.start();
+    } catch (const std::logic_error&) {
+      ++throws;  // lo==0 chunk runs exactly once; no sync needed
+    }
+  });
+  EXPECT_EQ(throws, 1u);
+  EXPECT_FALSE(rec.running());
+  // Quiescent again: the same recorder works normally (Scope binds this
+  // thread's serial counting to the sink the recorder snapshots).
+  ExecutionContext::Scope scope(ctx);
+  rec.start();
+  add_int(3);
+  rec.stop();
+  EXPECT_EQ(rec.ops().int_ops, 3u);
+}
+
+TEST_F(CountersTest, ScopedCountingRoutesIntoSinkAndRestores) {
+  CounterSink sink(2);
+  reset_all();
+  add_fp64(5);  // outside: fallback registry
+  {
+    ScopedCounting bind(sink, 1);
+    add_fp64(7);  // inside: sink slot 1
+  }
+  add_fp64(11);  // restored: fallback again
+  EXPECT_EQ(sink.slot(1).fp64, 7u);
+  EXPECT_EQ(sink.slot(0).fp64, 0u);
+  EXPECT_EQ(sink.snapshot().fp64, 7u);
+  EXPECT_EQ(global_snapshot().fp64, 16u);
+  sink.reset();
+  EXPECT_EQ(sink.snapshot(), OpTally{});
+}
+
+TEST_F(CountersTest, ConcurrentSinksDoNotCrossContaminate) {
+  CounterSink a(1), b(1);
+  std::thread ta([&] {
+    ScopedCounting bind(a, 0);
+    for (int i = 0; i < 10'000; ++i) add_fp64(1);
+  });
+  std::thread tb([&] {
+    ScopedCounting bind(b, 0);
+    for (int i = 0; i < 10'000; ++i) add_int(1);
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.snapshot().fp64, 10'000u);
+  EXPECT_EQ(a.snapshot().int_ops, 0u);
+  EXPECT_EQ(b.snapshot().int_ops, 10'000u);
+  EXPECT_EQ(b.snapshot().fp64, 0u);
 }
 
 TEST_F(CountersTest, ResetClearsEverything) {

@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/execution_context.hpp"
 #include "io/study_json.hpp"
 #include "study/study_engine.hpp"
 
@@ -30,8 +33,9 @@ struct RunLog {
 
 class FakeKernel : public kernels::ProxyKernel {
  public:
-  FakeKernel(std::string abbrev, RunLog* log, bool fail)
-      : log_(log), fail_(fail) {
+  FakeKernel(std::string abbrev, RunLog* log, bool fail,
+             std::chrono::milliseconds delay = {})
+      : log_(log), fail_(fail), delay_(delay) {
     info_.name = "Fake " + abbrev;
     info_.abbrev = std::move(abbrev);
     info_.suite = kernels::Suite::reference;
@@ -46,7 +50,7 @@ class FakeKernel : public kernels::ProxyKernel {
   }
 
   [[nodiscard]] model::WorkloadMeasurement run(
-      const kernels::RunConfig&) const override {
+      ExecutionContext&, const kernels::RunConfig&) const override {
     log_->total.fetch_add(1);
     {
       std::lock_guard lock(log_->mu);
@@ -56,6 +60,7 @@ class FakeKernel : public kernels::ProxyKernel {
       throw std::runtime_error(info_.abbrev +
                                ": verification failed (injected)");
     }
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
     model::WorkloadMeasurement m;
     m.name = info_.abbrev;
     m.ops.fp64 = 1'000'000'000;
@@ -74,24 +79,28 @@ class FakeKernel : public kernels::ProxyKernel {
   kernels::KernelInfo info_;
   RunLog* log_;
   bool fail_;
+  std::chrono::milliseconds delay_;
 };
 
-StudyEngine::KernelFactory fake_factory(const std::vector<std::string>& names,
-                                        RunLog* log,
-                                        const std::string& failing = "") {
-  return [names, log, failing] {
+StudyEngine::KernelFactory fake_factory(
+    const std::vector<std::string>& names, RunLog* log,
+    const std::string& failing = "",
+    std::chrono::milliseconds delay = {}) {
+  return [names, log, failing, delay] {
     std::vector<std::unique_ptr<kernels::ProxyKernel>> out;
     for (const auto& n : names) {
-      out.push_back(std::make_unique<FakeKernel>(n, log, n == failing));
+      out.push_back(
+          std::make_unique<FakeKernel>(n, log, n == failing, delay));
     }
     return out;
   };
 }
 
-StudyConfig fake_config(unsigned jobs) {
+StudyConfig fake_config(unsigned jobs, unsigned kernel_jobs = 1) {
   StudyConfig cfg;
   cfg.trace_refs = 20'000;
   cfg.jobs = jobs;
+  cfg.kernel_jobs = kernel_jobs;
   cfg.canonical_timing = true;
   return cfg;
 }
@@ -102,24 +111,34 @@ StudyConfig fake_config(unsigned jobs) {
 // bit-identical (compared via the lossless JSON serialization) for any
 // jobs count, including the serial jobs=1 baseline.
 
-StudyConfig real_subset_config(unsigned jobs) {
+StudyConfig real_subset_config(unsigned jobs, unsigned kernel_jobs = 1) {
   StudyConfig cfg;
   cfg.scale = 0.15;
   cfg.threads = 1;
   cfg.trace_refs = 60'000;
   cfg.kernels = {"AMG", "BABL2", "MxIO"};
   cfg.jobs = jobs;
+  cfg.kernel_jobs = kernel_jobs;
   cfg.canonical_timing = true;
   return cfg;
 }
 
-TEST(StudyEngine, ParallelMatchesSerialBitIdentical) {
-  const std::string serial =
-      io::dump(io::to_json(StudyEngine(real_subset_config(1)).run()));
-  for (const unsigned jobs : {2u, 8u}) {
-    const std::string parallel =
-        io::dump(io::to_json(StudyEngine(real_subset_config(jobs)).run()));
-    EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+// The tentpole guarantee: the engine is a pure reordering of the serial
+// pipeline over BOTH fan-out axes. Every (kernel_jobs, jobs) point of
+// the {1,2,8}^2 matrix must serialize byte-identically to the
+// (1,1) baseline — concurrent kernel runs in per-run ExecutionContexts
+// may not perturb a single op count.
+TEST(StudyEngine, KernelJobsTimesMachineJobsMatrixBitIdentical) {
+  const std::string base =
+      io::dump(io::to_json(StudyEngine(real_subset_config(1, 1)).run()));
+  for (const unsigned kernel_jobs : {1u, 2u, 8u}) {
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+      if (kernel_jobs == 1 && jobs == 1) continue;
+      const std::string got = io::dump(io::to_json(
+          StudyEngine(real_subset_config(jobs, kernel_jobs)).run()));
+      EXPECT_EQ(base, got)
+          << "kernel_jobs=" << kernel_jobs << " jobs=" << jobs;
+    }
   }
 }
 
@@ -164,22 +183,27 @@ TEST(StudyEngine, KernelSubsetFilterPreservesFactoryOrder) {
 // each of the three machines must share ONE instrumented run — the
 // engine may never re-execute (or re-seed) the kernel per machine.
 TEST(StudyEngine, KernelRunsExactlyOncePerKernel) {
-  for (const unsigned jobs : {1u, 4u}) {
-    RunLog log;
-    StudyEngine engine(fake_config(jobs),
-                       fake_factory({"K0", "K1", "K2"}, &log));
-    const auto results = engine.run();
-    ASSERT_EQ(results.kernels.size(), 3u);
-    EXPECT_EQ(log.total.load(), 3) << "jobs=" << jobs;  // 1 run per kernel
-    EXPECT_EQ(engine.stats().kernel_runs, 3u) << "jobs=" << jobs;
-    // ... while every (kernel, machine) stage still ran.
-    EXPECT_EQ(engine.stats().machine_evals, 9u) << "jobs=" << jobs;
-    for (const auto& k : results.kernels) {
-      EXPECT_TRUE(k.meas.verified);
-      EXPECT_EQ(k.machines.size(), 3u);
-      for (const auto& m : k.machines) {
-        EXPECT_GT(m.perf.seconds, 0.0);
-        EXPECT_FALSE(m.freq_sweep.empty());
+  for (const unsigned kernel_jobs : {1u, 4u}) {
+    for (const unsigned jobs : {1u, 4u}) {
+      RunLog log;
+      StudyEngine engine(fake_config(jobs, kernel_jobs),
+                         fake_factory({"K0", "K1", "K2"}, &log));
+      const auto results = engine.run();
+      ASSERT_EQ(results.kernels.size(), 3u);
+      // 1 run per kernel, even with concurrent producers racing the
+      // claim cursor.
+      EXPECT_EQ(log.total.load(), 3)
+          << "kernel_jobs=" << kernel_jobs << " jobs=" << jobs;
+      EXPECT_EQ(engine.stats().kernel_runs, 3u);
+      // ... while every (kernel, machine) stage still ran.
+      EXPECT_EQ(engine.stats().machine_evals, 9u);
+      for (const auto& k : results.kernels) {
+        EXPECT_TRUE(k.meas.verified);
+        EXPECT_EQ(k.machines.size(), 3u);
+        for (const auto& m : k.machines) {
+          EXPECT_GT(m.perf.seconds, 0.0);
+          EXPECT_FALSE(m.freq_sweep.empty());
+        }
       }
     }
   }
@@ -212,6 +236,33 @@ TEST(StudyEngine, FailFastPropagatesKernelException) {
   }
 }
 
+// With concurrent producers the strict "nothing after the failure"
+// ordering is unobservable (another producer may have already claimed
+// the next kernel), but the failure must still propagate, the engine
+// must not hang, and producers must stop claiming once aborted.
+TEST(StudyEngine, FailFastUnderConcurrentKernelProducers) {
+  std::vector<std::string> names = {"BOOM"};
+  for (int i = 0; i < 16; ++i) {
+    std::string name = "K";
+    name += std::to_string(i);
+    names.push_back(std::move(name));
+  }
+  RunLog log;
+  // BOOM (claimed first) throws immediately; the healthy fakes take
+  // 25 ms each, so the abort flag is set microseconds into a >130 ms
+  // window — for all 16 healthy kernels to run anyway, BOOM's producer
+  // would have to stall for that whole window between claiming and
+  // throwing. Wide enough to stay deterministic on loaded CI runners
+  // (including under TSan), cheap enough for a unit test: the engine
+  // aborts after the ~3 kernels already in flight.
+  StudyEngine engine(
+      fake_config(4, 4),
+      fake_factory(names, &log, "BOOM", std::chrono::milliseconds(25)));
+  EXPECT_THROW((void)engine.run(), std::runtime_error);
+  // Fail-fast: at most the claims already in flight when BOOM fired.
+  EXPECT_LT(log.total.load(), 17);
+}
+
 TEST(StudyEngine, CanonicalTimingZeroesHostSeconds) {
   auto cfg = real_subset_config(1);
   cfg.kernels = {"BABL2"};
@@ -230,6 +281,7 @@ TEST(StudyEngine, CanonicalTimingZeroesHostSeconds) {
 TEST(StudyEngine, GoldenConfigIsTheDocumentedDeterministicScale) {
   const auto cfg = golden_config();
   EXPECT_EQ(cfg.threads, 1u);  // host-independent op counts
+  EXPECT_EQ(cfg.kernel_jobs, 1u);  // pinned, though any value matches
   EXPECT_TRUE(cfg.canonical_timing);
   EXPECT_LT(cfg.scale, 1.0);
   const std::vector<std::string> expected = {"AMG",   "HPL",  "XSBn",
