@@ -1,0 +1,280 @@
+// Memory-hierarchy replay throughput across three implementations of
+// the same simulation, over every pattern class of the paper's Table II
+// taxonomy plus a representative mixture:
+//
+//  - baseline: a verbatim replica of the pre-batching implementation
+//    (array-of-struct ways, early-exit scan, hardware divide per set
+//    lookup) driven one reference at a time — the scalar baseline the
+//    speedup is quoted against;
+//  - scalar:   TraceGenerator::next + the new compact Cache, still one
+//    reference and one full level walk at a time (Hierarchy's oracle
+//    path, isolates the cache-layout share of the win);
+//  - batched:  the production path — TraceGenerator::fill blocks and
+//    Cache::access_many level filtering.
+//
+// All three must produce EXACTLY the same per-level statistics (the
+// rewrite is a pure reordering). Exits non-zero on any mismatch or if
+// the aggregate batched-vs-baseline speedup falls below 1x.
+//
+//   ./build/memsim_replay [--refs N] [--scale-shift S]
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/machines.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "memsim/hierarchy.hpp"
+#include "memsim/trace_gen.hpp"
+
+namespace {
+
+using namespace fpr;
+using namespace fpr::memsim;
+
+struct Workload {
+  std::string name;
+  AccessPatternSpec spec;
+};
+
+/// Replica of the seed Cache::access (pre-compaction): one Way struct
+/// per line, valid/tag/lru triple-branch scan with early exit, modulo
+/// set indexing via hardware divide. Semantically identical by design —
+/// the bench asserts it.
+class BaselineCache {
+ public:
+  explicit BaselineCache(const CacheConfig& cfg) : cfg_(cfg) {
+    num_sets_ = cfg_.num_sets();
+    line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg_.line_bytes));
+    ways_.resize(cfg_.num_lines());
+  }
+
+  bool access(std::uint64_t addr, bool write) {
+    const std::uint64_t line = addr >> line_shift_;
+    const std::uint64_t set = line % num_sets_;
+    const std::uint64_t tag = line / num_sets_;
+    Way* base = &ways_[set * cfg_.associativity];
+    ++stamp_;
+    Way* victim = base;
+    for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+      Way& way = base[w];
+      if (way.valid && way.tag == tag) {
+        way.lru = stamp_;
+        way.dirty = way.dirty || write;
+        ++stats_.hits;
+        return true;
+      }
+      if (!way.valid) {
+        victim = &way;
+      } else if (victim->valid && way.lru < victim->lru) {
+        victim = &way;
+      }
+    }
+    ++stats_.misses;
+    if (victim->valid && victim->dirty) ++stats_.writebacks;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = stamp_;
+    victim->dirty = write;
+    return false;
+  }
+
+  void reset_stats() { stats_ = CacheStats{}; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+  CacheConfig cfg_;
+  std::uint64_t num_sets_ = 0;
+  std::uint32_t line_shift_ = 0;
+  std::uint64_t stamp_ = 0;
+  std::vector<Way> ways_;
+  CacheStats stats_;
+};
+
+/// The seed replay loop over BaselineCache levels, mirroring the
+/// geometry Hierarchy builds for `cpu`.
+HierarchyResult baseline_replay(const fpr::arch::CpuSpec& cpu,
+                                unsigned scale_shift, TraceGenerator& gen,
+                                std::uint64_t refs, std::uint64_t warmup) {
+  // Recover the per-level configs through a real Hierarchy replay of 0
+  // refs (names + geometry), then rebuild baseline caches from them.
+  Hierarchy h(cpu, scale_shift);
+  std::vector<BaselineCache> levels;
+  for (std::size_t i = 0; i < h.num_levels(); ++i) {
+    levels.emplace_back(h.level_config(i));
+  }
+  auto run = [&](std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const MemRef ref = gen.next();
+      for (auto& level : levels) {
+        if (level.access(ref.addr, ref.write)) break;
+      }
+    }
+  };
+  run(warmup);
+  for (auto& l : levels) l.reset_stats();
+  run(refs);
+  HierarchyResult r;
+  r.refs = refs;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    r.levels.push_back({h.level_name(i), levels[i].stats()});
+  }
+  return r;
+}
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> w;
+  w.push_back({"stream", AccessPatternSpec::single(StreamPattern{
+                             .bytes_per_array = 512ull << 20,
+                             .arrays = 3,
+                             .writes_per_iter = 1})});
+  w.push_back({"strided", AccessPatternSpec::single(StridedPattern{
+                              .footprint_bytes = 256ull << 20,
+                              .stride_bytes = 256})});
+  w.push_back({"stencil", AccessPatternSpec::single(StencilPattern{
+                              .nx = 512, .ny = 512, .nz = 256,
+                              .elem_bytes = 8, .radius = 1,
+                              .full_box = false})});
+  w.push_back({"gather", AccessPatternSpec::single(GatherPattern{
+                             .table_bytes = 1ull << 30,
+                             .elem_bytes = 8,
+                             .sequential_fraction = 0.1})});
+  w.push_back({"chase", AccessPatternSpec::single(ChasePattern{
+                            .footprint_bytes = 64ull << 20,
+                            .node_bytes = 64})});
+  w.push_back({"blocked", AccessPatternSpec::single(BlockedPattern{
+                              .matrix_bytes = 1ull << 30,
+                              .tile_bytes = 8ull << 20,
+                              .tile_reuse = 16.0})});
+  AccessPatternSpec mix;
+  mix.components.push_back({StreamPattern{.bytes_per_array = 128ull << 20,
+                                          .arrays = 3,
+                                          .writes_per_iter = 1},
+                            2.0});
+  mix.components.push_back({GatherPattern{.table_bytes = 512ull << 20,
+                                          .elem_bytes = 8,
+                                          .sequential_fraction = 0.1},
+                            1.0});
+  mix.components.push_back({ChasePattern{.footprint_bytes = 32ull << 20,
+                                         .node_bytes = 64},
+                            0.5});
+  w.push_back({"mixture", mix});
+  return w;
+}
+
+bool identical(const HierarchyResult& a, const HierarchyResult& b) {
+  if (a.refs != b.refs || a.levels.size() != b.levels.size()) return false;
+  for (std::size_t i = 0; i < a.levels.size(); ++i) {
+    const auto& la = a.levels[i];
+    const auto& lb = b.levels[i];
+    if (la.name != lb.name || la.stats.hits != lb.stats.hits ||
+        la.stats.misses != lb.stats.misses ||
+        la.stats.writebacks != lb.stats.writebacks) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t refs = 2'000'000;
+  unsigned scale_shift = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "option " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--refs") {
+      refs = std::stoull(value());
+    } else if (arg == "--scale-shift") {
+      scale_shift = static_cast<unsigned>(std::stoul(value()));
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  if (refs == 0 || scale_shift > 30) {
+    std::cerr << "want --refs > 0 and --scale-shift <= 30\n";
+    return 2;
+  }
+
+  bench::header("Memory-hierarchy replay throughput (scalar vs batched)",
+                "the Sec. III-A PCM-profiling stage");
+  const auto cpu = arch::knl();
+  std::cout << "machine: " << cpu.short_name << ", refs=" << refs
+            << " (+equal warmup), scale-shift=" << scale_shift << "\n\n";
+
+  TextTable table({"Pattern", "Baseline[Mref/s]", "Scalar[Mref/s]",
+                   "Batched[Mref/s]", "Speedup", "Identical"});
+  double baseline_total = 0.0, scalar_total = 0.0, batched_total = 0.0;
+  bool all_identical = true;
+  for (const auto& w : workloads()) {
+    const AccessPatternSpec scaled = scale_spec(w.spec, scale_shift);
+
+    TraceGenerator g0(scaled, 0xfeed1234);
+    WallTimer t0;
+    const auto r0 = baseline_replay(cpu, scale_shift, g0, refs, refs);
+    const double baseline_s = t0.seconds();
+
+    Hierarchy hs(cpu, scale_shift);
+    TraceGenerator gs(scaled, 0xfeed1234);
+    WallTimer ts;
+    const auto rs = hs.replay_scalar(gs, refs, refs);
+    const double scalar_s = ts.seconds();
+
+    Hierarchy hb(cpu, scale_shift);
+    TraceGenerator gb(scaled, 0xfeed1234);
+    WallTimer tb;
+    const auto rb = hb.replay(gb, refs, refs);
+    const double batched_s = tb.seconds();
+
+    const bool same = identical(r0, rb) && identical(rs, rb);
+    all_identical = all_identical && same;
+    baseline_total += baseline_s;
+    scalar_total += scalar_s;
+    batched_total += batched_s;
+    const double mref = static_cast<double>(2 * refs) / 1e6;  // warmup counts
+    table.row()
+        .cell(w.name)
+        .num(baseline_s > 0 ? mref / baseline_s : 0.0, 2)
+        .num(scalar_s > 0 ? mref / scalar_s : 0.0, 2)
+        .num(batched_s > 0 ? mref / batched_s : 0.0, 2)
+        .num(batched_s > 0 ? baseline_s / batched_s : 0.0, 2)
+        .cell(same ? "yes" : "NO")
+        .done();
+  }
+  table.print(std::cout);
+
+  const double speedup =
+      batched_total > 0 ? baseline_total / batched_total : 0.0;
+  std::printf(
+      "\naggregate: baseline %.3f s, scalar %.3f s, batched %.3f s, "
+      "speedup %.2fx (batched vs baseline)\n",
+      baseline_total, scalar_total, batched_total, speedup);
+
+  if (!all_identical) {
+    std::cerr << "[bench] REPLAY MISMATCH: all three paths must produce "
+                 "identical per-level statistics\n";
+    return 1;
+  }
+  if (speedup < 1.0) {
+    std::cerr << "[bench] batched path slower than the seed baseline\n";
+    return 1;
+  }
+  return 0;
+}

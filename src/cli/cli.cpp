@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "arch/machines.hpp"
+#include "common/execution_context.hpp"
 #include "common/table.hpp"
 #include "counters/op_tally.hpp"
 #include "io/study_json.hpp"
@@ -34,6 +35,8 @@ constexpr const char* kUsage =
     "  run [options]        run kernels: op-mix assay + machine projection\n"
     "  study [options]      full pipeline (kernel run -> memsim -> model ->\n"
     "                       freq sweep) on the parallel StudyEngine\n"
+    "  memsim [options]     per-kernel x machine cache-hierarchy hit-rate\n"
+    "                       table (the simulated PCM counters)\n"
     "  diff A.json B.json   compare two study results files metric by\n"
     "                       metric (relative deltas)\n"
     "  help                 show this message\n"
@@ -67,6 +70,12 @@ constexpr const char* kUsage =
     "                       (overrides kernel/scale/threads/seed/\n"
     "                       trace-refs; rejects --timing/--no-sweep)\n"
     "\n"
+    "memsim options:\n"
+    "  --refs N             trace references per simulation (also accepted\n"
+    "                       as --trace-refs; default 400000)\n"
+    "  --scale-shift S      capacity scale-down exponent: footprints and\n"
+    "                       cache sizes shrink by 2^S (default 8, max 30)\n"
+    "\n"
     "diff options:\n"
     "  --tolerance T        max relative delta accepted per metric\n"
     "                       (default 0; exit 1 if any metric exceeds it)\n";
@@ -82,7 +91,8 @@ struct RunOptions {
   // study
   unsigned jobs = 0;        // 0 = all hardware
   unsigned kernel_jobs = 1;  // 0 = all hardware
-  std::uint64_t trace_refs = 400'000;
+  std::uint64_t trace_refs = model::kDefaultTraceRefs;
+  unsigned scale_shift = model::kDefaultScaleShift;  // memsim
   bool no_sweep = false;
   bool timing = false;
   bool golden = false;
@@ -175,11 +185,16 @@ void add_opmix_row(TextTable& t, const model::WorkloadMeasurement& m) {
 
 /// Per-machine model projection (Fig. 2/Table IV-style metrics) plus the
 /// kernel's placement on each machine's roofline (Fig. 5 coordinates).
-/// One row per (kernel, machine) appended to the shared table.
+/// One row per (kernel, machine) appended to the shared table. The
+/// hierarchy replays memoize through `cache` so repeated projections of
+/// identical sliced specs simulate once per command.
 void add_projection_rows(TextTable& t, const std::string& abbrev,
-                         const model::WorkloadMeasurement& meas) {
+                         const model::WorkloadMeasurement& meas,
+                         memsim::SimCache* cache) {
   for (const auto& cpu : arch::all_machines()) {
-    const auto mem = model::profile_memory(cpu, meas);
+    const auto mem =
+        model::profile_memory(cpu, meas, model::kDefaultTraceRefs,
+                              model::kDefaultScaleShift, cache);
     const auto ev = model::evaluate_at_turbo(cpu, meas, mem);
     const auto rp = model::roofline_point(cpu, meas, mem, ev);
     t.row()
@@ -237,6 +252,7 @@ int cmd_run(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   TextTable projection({"Kernel", "Machine", "Bound", "t2sol[s]", "Gflop/s",
                         "%peak", "Mem[GB/s]", "AI[f/B]", "Roof[Gflop/s]",
                         "Side"});
+  memsim::SimCache sim_cache;
   for (const auto& abbrev : selection) {
     const auto kernel = kernels::make(abbrev);
     if (opt.auto_threads) {
@@ -259,7 +275,7 @@ int cmd_run(const RunOptions& opt, std::ostream& out, std::ostream& err) {
     }
     const auto run = study::performance_run(*kernel, rc, opt.repeats);
     add_opmix_row(opmix, run.best_meas);
-    add_projection_rows(projection, abbrev, run.best_meas);
+    add_projection_rows(projection, abbrev, run.best_meas, &sim_cache);
   }
 
   if (opt.auto_threads) {
@@ -340,6 +356,63 @@ int cmd_study(const RunOptions& opt, std::ostream& out, std::ostream& err) {
       err << "[fpr] wrote " << opt.out << "\n";
     }
   }
+  return 0;
+}
+
+/// `fpr memsim`: expose the hierarchy simulation directly — one row per
+/// (kernel, machine) with the per-level hit rates the model consumes
+/// (the stand-in for the paper's PCM counter readings). Kernels run once
+/// (instrumented, at --scale) to publish their access-pattern specs;
+/// every replay goes through the command context's SimCache.
+int cmd_memsim(const RunOptions& opt, std::ostream& out, std::ostream& err) {
+  std::string bad;
+  const auto selection = resolve_kernels(opt.kernels, bad);
+  if (!bad.empty()) return usage_error(err, bad);
+
+  err << "[fpr] memsim: " << selection.size() << " kernel(s) at scale "
+      << opt.scale << ", refs=" << opt.trace_refs << ", scale-shift="
+      << opt.scale_shift << "\n";
+
+  kernels::RunConfig rc;
+  rc.scale = opt.scale;
+  rc.threads = opt.threads;
+  rc.seed = opt.seed;
+
+  ExecutionContext ctx(opt.threads);
+  memsim::SimCache* cache = ctx.sim_cache().get();
+
+  TextTable t({"Kernel", "Machine", "L1h%", "L2h%", "Last", "LLh%",
+               "Offchip%", "DRAM%"});
+  for (const auto& abbrev : selection) {
+    const auto kernel = kernels::make(abbrev);
+    const auto meas = kernel->run(ctx, rc);
+    for (const auto& cpu : arch::all_machines()) {
+      const auto sliced = model::per_core_slice(meas.access, cpu.cores);
+      const auto res = memsim::simulate_pattern_cached(
+          cache, cpu, sliced, opt.trace_refs, model::kProfileSeed,
+          opt.scale_shift);
+      const std::string last = cpu.has_mcdram() ? "MCDRAM$" : "LLC";
+      t.row()
+          .cell(abbrev)
+          .cell(cpu.short_name)
+          .num(100.0 * res.hit_rate("L1"), 2)
+          .num(100.0 * res.hit_rate("L2"), 2)
+          .cell(last)
+          .num(100.0 * res.hit_rate(last), 2)
+          .num(100.0 * (1.0 - res.served_at_or_above("L2")), 2)
+          .num(100.0 * res.dram_fraction(), 2)
+          .done();
+    }
+  }
+
+  std::ostream& heading = opt.csv ? err : out;
+  heading << "Simulated per-level hit rates (" << opt.trace_refs
+          << " refs, capacities/footprints scaled by 2^-" << opt.scale_shift
+          << "):\n";
+  print(t, opt.csv, out);
+  const auto cs = cache->stats();
+  err << "[fpr] memsim cache: " << cs.hits << " hit(s), " << cs.misses
+      << " simulation(s)\n";
   return 0;
 }
 
@@ -609,11 +682,17 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         opt.jobs = number(parse_worker_count);
       } else if (arg == "--kernel-jobs") {
         opt.kernel_jobs = number(parse_worker_count);
-      } else if (arg == "--trace-refs") {
+      } else if (arg == "--trace-refs" || arg == "--refs") {
         opt.trace_refs =
             number([](const std::string& t) { return std::stoull(t); });
         if (opt.trace_refs == 0) {
-          return usage_error(err, "--trace-refs must be > 0");
+          return usage_error(err, arg + " must be > 0");
+        }
+      } else if (arg == "--scale-shift") {
+        opt.scale_shift =
+            number([](const std::string& t) { return parse_worker_count(t); });
+        if (opt.scale_shift > 30) {
+          return usage_error(err, "--scale-shift must be <= 30");
         }
       } else if (arg == "--no-sweep") {
         opt.no_sweep = true;
@@ -653,6 +732,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "tables") return cmd_tables(opt.csv, out);
     if (command == "run") return cmd_run(opt, out, err);
     if (command == "study") return cmd_study(opt, out, err);
+    if (command == "memsim") return cmd_memsim(opt, out, err);
     if (command == "diff") return cmd_diff(opt, out, err);
   } catch (const std::exception& e) {
     err << "fpr: error: " << e.what() << "\n";

@@ -1,5 +1,9 @@
 #include "common/execution_context.hpp"
 
+#include <stdexcept>
+
+#include "memsim/sim_cache.hpp"
+
 namespace fpr {
 
 namespace {
@@ -23,10 +27,21 @@ class RegionGuard {
 
 ExecutionContext::ExecutionContext(unsigned threads)
     : pool_(std::make_shared<ThreadPool>(threads)),
-      sink_(pool_->size() + 1) {}
+      sink_(pool_->size() + 1),
+      sim_cache_(std::make_shared<memsim::SimCache>()) {}
 
 ExecutionContext::ExecutionContext(std::shared_ptr<ThreadPool> pool)
-    : pool_(std::move(pool)), sink_(pool_->size() + 1) {}
+    : pool_(std::move(pool)),
+      sink_(pool_->size() + 1),
+      sim_cache_(std::make_shared<memsim::SimCache>()) {}
+
+void ExecutionContext::lease_sim_cache(
+    std::shared_ptr<memsim::SimCache> cache) {
+  if (!cache) {
+    throw std::invalid_argument("leased SimCache must not be null");
+  }
+  sim_cache_ = std::move(cache);
+}
 
 void ExecutionContext::parallel_for(std::size_t n, const Body& body) {
   parallel_for_n(concurrency(), n, body);

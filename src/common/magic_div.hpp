@@ -1,0 +1,61 @@
+// Exact division/modulo by a runtime-constant 64-bit divisor via a
+// precomputed multiply-shift reciprocal (the classic "magic number"
+// strength reduction). A 64-bit hardware divide costs ~20-40 cycles;
+// the reciprocal path is a widening multiply, a shift, and a one-step
+// fixup — and, unlike approximate schemes, it is exact for EVERY
+// dividend: the fixup bounds the truncated-reciprocal error below one
+// quotient unit, so results equal operator/ and operator% bit for bit.
+// The memory simulator uses it for cache set indexing (scaled cache
+// geometries are rarely power-of-two) and trace-generator slot picks.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+namespace fpr {
+
+class MagicDiv {
+ public:
+  MagicDiv() = default;  ///< divisor 1 (identity)
+
+  explicit MagicDiv(std::uint64_t d) : d_(d) {
+    if (d == 0) throw std::invalid_argument("MagicDiv: divisor must be > 0");
+    if (std::has_single_bit(d)) {
+      shift_ = static_cast<unsigned>(std::countr_zero(d));
+      pow2_ = true;
+      return;
+    }
+    // mul = floor(2^(64+s) / d) with s = bit_width(d) - 1 < 64. The
+    // approximation q0 = (mul * x) >> (64+s) undershoots x/d by less
+    // than 2^-s * (x / 2^64) < 1, so at most one +1 fixup is needed.
+    shift_ = static_cast<unsigned>(std::bit_width(d)) - 1;
+    mul_ = static_cast<std::uint64_t>(
+        ((static_cast<unsigned __int128>(1) << 64) << shift_) / d);
+    pow2_ = false;
+  }
+
+  [[nodiscard]] std::uint64_t divisor() const { return d_; }
+
+  /// x / divisor, exactly.
+  [[nodiscard]] std::uint64_t div(std::uint64_t x) const {
+    if (pow2_) return x >> shift_;
+    std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(mul_) * x) >> 64) >> shift_;
+    q += static_cast<std::uint64_t>(x - q * d_ >= d_);
+    return q;
+  }
+
+  /// x % divisor, exactly.
+  [[nodiscard]] std::uint64_t mod(std::uint64_t x) const {
+    return x - div(x) * d_;
+  }
+
+ private:
+  std::uint64_t mul_ = 0;
+  std::uint64_t d_ = 1;
+  unsigned shift_ = 0;
+  bool pow2_ = true;
+};
+
+}  // namespace fpr

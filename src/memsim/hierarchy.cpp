@@ -1,6 +1,7 @@
 #include "memsim/hierarchy.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/units.hpp"
 
@@ -22,20 +23,40 @@ CacheConfig make_cfg(std::uint64_t size, std::uint32_t assoc) {
 
 }  // namespace
 
+namespace {
+
+[[noreturn]] void throw_unknown_level(const std::string& name,
+                                      const std::vector<LevelResult>& levels) {
+  std::string have;
+  for (const auto& l : levels) {
+    if (!have.empty()) have += ", ";
+    have += l.name;
+  }
+  throw std::out_of_range("no hierarchy level named '" + name +
+                          "' (levels: " + have + ")");
+}
+
+}  // namespace
+
 double HierarchyResult::hit_rate(const std::string& name) const {
   for (const auto& l : levels) {
     if (l.name == name) return l.stats.hit_rate();
   }
-  return 0.0;
+  throw_unknown_level(name, levels);
 }
 
 double HierarchyResult::served_at_or_above(const std::string& name) const {
-  if (refs == 0) return 0.0;
   std::uint64_t missed = refs;
+  bool found = false;
   for (const auto& l : levels) {
     missed = l.stats.misses;
-    if (l.name == name) break;
+    if (l.name == name) {
+      found = true;
+      break;
+    }
   }
+  if (!found) throw_unknown_level(name, levels);
+  if (refs == 0) return 0.0;
   return 1.0 - static_cast<double>(missed) / static_cast<double>(refs);
 }
 
@@ -80,8 +101,49 @@ Hierarchy::Hierarchy(const arch::CpuSpec& cpu, unsigned scale_shift)
   }
 }
 
+namespace {
+
+/// References per generate/filter round: large enough to amortize the
+/// batching overheads, small enough that the block plus one level's way
+/// arrays stay cache-resident.
+constexpr std::size_t kReplayBlock = 1024;
+
+}  // namespace
+
 HierarchyResult Hierarchy::replay(TraceGenerator& gen, std::uint64_t refs,
                                   std::uint64_t warmup) {
+  for (auto& c : levels_) c.clear();
+  std::vector<MemRef> block(kReplayBlock);
+  // Per level L, the accesses it sees are level L-1's misses in order,
+  // so filtering a whole block level by level replays exactly the same
+  // per-cache access sequences as the scalar reference walk.
+  auto run = [&](std::uint64_t count) {
+    while (count > 0) {
+      const std::size_t n =
+          static_cast<std::size_t>(std::min<std::uint64_t>(count, kReplayBlock));
+      gen.fill(block.data(), n);
+      std::size_t live = n;
+      for (auto& level : levels_) {
+        live = level.access_many(block.data(), live);
+        if (live == 0) break;
+      }
+      count -= n;
+    }
+  };
+  run(warmup);
+  for (auto& c : levels_) c.reset_stats();
+  run(refs);
+  HierarchyResult r;
+  r.refs = refs;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    r.levels.push_back({names_[i], levels_[i].stats()});
+  }
+  return r;
+}
+
+HierarchyResult Hierarchy::replay_scalar(TraceGenerator& gen,
+                                         std::uint64_t refs,
+                                         std::uint64_t warmup) {
   for (auto& c : levels_) c.clear();
   auto run = [&](std::uint64_t count) {
     for (std::uint64_t i = 0; i < count; ++i) {

@@ -27,11 +27,15 @@ struct HierarchyResult {
   std::vector<LevelResult> levels;
   std::uint64_t refs = 0;
 
-  /// Hit rate of the level with the given name (0 if absent).
+  /// Hit rate of the level with the given name. Throws std::out_of_range
+  /// for a name this hierarchy has no level of (e.g. asking a Phi result
+  /// for "LLC"): a mix-up must never silently read as a 0% hit rate.
   [[nodiscard]] double hit_rate(const std::string& name) const;
 
   /// Fraction of references served at or above the named level, i.e.
-  /// without going past it toward memory.
+  /// without going past it toward memory. Throws std::out_of_range for
+  /// an unknown level name (it would otherwise silently report the
+  /// bottom level's value).
   [[nodiscard]] double served_at_or_above(const std::string& name) const;
 
   /// Fraction of all references that went all the way to DRAM.
@@ -49,8 +53,20 @@ class Hierarchy {
   /// in the generator's patterns must be pre-scaled by scaled_bytes().
   /// The first `warmup` references fill the caches without being
   /// counted, so the result reflects steady-state hit rates.
+  ///
+  /// The replay is batched: references are generated in blocks
+  /// (TraceGenerator::fill) and each level filters a whole block to the
+  /// miss stream the next level consumes (Cache::access_many), hoisting
+  /// generator dispatch and the level loop out of the per-reference
+  /// path. Results are bit-identical to replay_scalar().
   HierarchyResult replay(TraceGenerator& gen, std::uint64_t refs,
                          std::uint64_t warmup = 0);
+
+  /// Reference implementation: one gen.next() and one full level walk
+  /// per reference. Kept as the oracle the batched path is verified
+  /// against (tests) and the baseline bench/memsim_replay times.
+  HierarchyResult replay_scalar(TraceGenerator& gen, std::uint64_t refs,
+                                std::uint64_t warmup = 0);
 
   /// Scale a full-size footprint to the simulated geometry.
   [[nodiscard]] std::uint64_t scaled_bytes(std::uint64_t full) const {
@@ -62,6 +78,9 @@ class Hierarchy {
   [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
   [[nodiscard]] const std::string& level_name(std::size_t i) const {
     return names_[i];
+  }
+  [[nodiscard]] const CacheConfig& level_config(std::size_t i) const {
+    return levels_[i].config();
   }
 
  private:

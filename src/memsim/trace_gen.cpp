@@ -1,8 +1,11 @@
 #include "memsim/trace_gen.hpp"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 #include <stdexcept>
+
+#include "common/magic_div.hpp"
 
 namespace fpr::memsim {
 
@@ -25,16 +28,272 @@ struct TraceGenerator::ComponentState {
   std::uint64_t pos = 0;
   std::uint64_t aux = 0;
   std::vector<std::uint32_t> chase_order;  // for ChasePattern
+  // Batch-path accelerators (lazily built; never touch the RNG except
+  // build_chase_order, which consumes exactly what the scalar build does).
+  std::vector<std::array<std::int64_t, 3>> stencil_offsets;
+  MagicDiv slot_div;  // gather/blocked slot modulo, hoisted per block
+  // Incremental cursor cache: gen_n's running offsets are pure functions
+  // of (pos, aux); deriving them costs divides, so they persist across
+  // calls keyed by the position they were left at. Mixtures dispatch
+  // short same-component runs, where re-deriving would dominate. A
+  // scalar gen() in between moves pos and simply invalidates the cache.
+  std::uint64_t cursor_pos = ~std::uint64_t{0};
+  std::uint64_t cur[5] = {0, 0, 0, 0, 0};
+
+  [[nodiscard]] bool cursor_valid() const { return cursor_pos == pos; }
+  void save_cursor(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0,
+                   std::uint64_t d = 0, std::uint64_t e = 0) {
+    cursor_pos = pos;
+    cur[0] = a;
+    cur[1] = b;
+    cur[2] = c;
+    cur[3] = d;
+    cur[4] = e;
+  }
 
   ComponentState(Pattern p, std::uint64_t b, std::uint64_t seed)
       : pattern(std::move(p)), base(b), rng(seed) {}
+
+  /// Lazily build the chase ring (Sattolo shuffle => one full cycle).
+  /// Factored out so the scalar and batch paths consume identical RNG.
+  void build_chase_order(std::uint64_t nodes) {
+    if (!chase_order.empty()) return;
+    chase_order.resize(nodes);
+    std::iota(chase_order.begin(), chase_order.end(), 0u);
+    for (std::uint64_t i = nodes - 1; i > 0; --i) {
+      const std::uint64_t j = rng.below(i);
+      std::swap(chase_order[i], chase_order[j]);
+    }
+  }
+
+  /// Precompute the (dx, dy, dz) neighbour offsets for stencil point k
+  /// (pure function of radius/box shape; the scalar path re-derives the
+  /// same values per reference).
+  void build_stencil_offsets(const StencilPattern& p, int r,
+                             std::uint64_t pts) {
+    if (stencil_offsets.size() == pts) return;
+    stencil_offsets.assign(pts, {0, 0, 0});
+    for (std::uint64_t k = 0; k < pts; ++k) {
+      auto& d = stencil_offsets[k];
+      if (p.full_box) {
+        const std::uint64_t side = 2 * static_cast<std::uint64_t>(r) + 1;
+        d[0] = static_cast<std::int64_t>(k % side) - r;
+        d[1] = static_cast<std::int64_t>((k / side) % side) - r;
+        d[2] = static_cast<std::int64_t>(k / (side * side)) - r;
+      } else if (k > 0) {
+        const std::uint64_t axis = (k - 1) / (2 * r);
+        const std::int64_t step =
+            static_cast<std::int64_t>((k - 1) % (2 * r)) -
+            static_cast<std::int64_t>(r) +
+            (((k - 1) % (2 * r)) >= static_cast<std::uint64_t>(r) ? 1 : 0);
+        if (axis == 0) d[0] = step;
+        if (axis == 1) d[1] = step;
+        if (axis == 2) d[2] = step;
+      }
+    }
+  }
 
   MemRef generate() {
     return std::visit([this](const auto& pat) { return gen(pat); }, pattern);
   }
 
+  /// Emit `n` consecutive references with a single variant dispatch.
+  /// Each pattern has a specialized block loop that derives the same
+  /// reference sequence incrementally (running offsets with one
+  /// conditional wrap instead of a div/mod per reference, hoisted
+  /// reciprocals for the RNG slot picks, precomputed stencil offset
+  /// tables). Bit-identity with n scalar gen() calls is the contract —
+  /// the memsim property tests replay both and compare exactly.
+  void generate_n(MemRef* out, std::size_t n) {
+    std::visit([&](const auto& pat) { gen_n(pat, out, n); }, pattern);
+  }
+
+  void gen_n(const StreamPattern& p, MemRef* out, std::size_t n) {
+    const std::uint64_t len =
+        std::max<std::uint64_t>(p.bytes_per_array, 64) & ~std::uint64_t{7};
+    const auto arrays = static_cast<std::uint64_t>(std::max(1, p.arrays));
+    const std::uint64_t arr_stride = align_up(len, 4096);
+    // Running (array, offset) cursor; the element offset advances by one
+    // 8 B element per full array round, wrapping at len (a multiple of 8,
+    // so the wrap lands exactly where (elem * 8) % len does).
+    std::uint64_t array, off;
+    if (cursor_valid()) {
+      array = cur[0];
+      off = cur[1];
+    } else {
+      array = pos % arrays;
+      off = ((pos / arrays) * 8) % len;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = {base + array * arr_stride + off,
+                static_cast<int>(array) < p.writes_per_iter};
+      if (++array == arrays) {
+        array = 0;
+        off += 8;
+        if (off >= len) off -= len;
+      }
+    }
+    pos += n;
+    save_cursor(array, off);
+  }
+
+  void gen_n(const StridedPattern& p, MemRef* out, std::size_t n) {
+    const std::uint64_t fp = std::max<std::uint64_t>(p.footprint_bytes, 512);
+    const std::uint64_t step = p.stride_bytes % fp;
+    std::uint64_t off =
+        cursor_valid() ? cur[0] : (pos * p.stride_bytes) % fp;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = {base + off, false};
+      off += step;
+      if (off >= fp) off -= fp;
+    }
+    pos += n;
+    save_cursor(off);
+  }
+
+  void gen_n(const StencilPattern& p, MemRef* out, std::size_t n) {
+    const std::uint64_t nx = std::max<std::uint64_t>(p.nx, 4);
+    const std::uint64_t ny = std::max<std::uint64_t>(p.ny, 4);
+    const std::uint64_t nz = std::max<std::uint64_t>(p.nz, 4);
+    const std::uint64_t cells = nx * ny * nz;
+    const int r = std::max(1, p.radius);
+    const std::uint64_t pts =
+        p.full_box ? static_cast<std::uint64_t>((2 * r + 1)) * (2 * r + 1) *
+                         (2 * r + 1)
+                   : static_cast<std::uint64_t>(6 * r + 1);
+    build_stencil_offsets(p, r, pts);
+    // Cursor: (cell, k) with k in [0, pts] — k == pts is the destination
+    // write; cell advances by one (wrapping at cells) after the write.
+    std::uint64_t cell, k, x, y, z;
+    if (cursor_valid()) {
+      cell = cur[0];
+      k = cur[1];
+      x = cur[2];
+      y = cur[3];
+      z = cur[4];
+    } else {
+      cell = (pos / (pts + 1)) % cells;
+      k = pos % (pts + 1);
+      x = cell % nx;
+      y = (cell / nx) % ny;
+      z = cell / (nx * ny);
+    }
+    const std::uint64_t out_base = cells * p.elem_bytes;
+    auto clampc = [](std::uint64_t v, std::int64_t d, std::uint64_t hi) {
+      const auto s = static_cast<std::int64_t>(v) + d;
+      return static_cast<std::uint64_t>(
+          std::clamp<std::int64_t>(s, 0, static_cast<std::int64_t>(hi) - 1));
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      if (k == pts) {
+        out[i] = {base + out_base + cell * p.elem_bytes, true};
+        k = 0;
+        ++cell;
+        ++x;
+        if (x == nx) {
+          x = 0;
+          ++y;
+          if (y == ny) {
+            y = 0;
+            ++z;
+          }
+        }
+        if (cell == cells) {
+          cell = 0;
+          x = y = z = 0;
+        }
+      } else {
+        const auto& d = stencil_offsets[k];
+        const std::uint64_t idx =
+            clampc(x, d[0], nx) +
+            nx * (clampc(y, d[1], ny) + ny * clampc(z, d[2], nz));
+        out[i] = {base + idx * p.elem_bytes, false};
+        ++k;
+      }
+    }
+    pos += n;
+    save_cursor(cell, k, x, y, z);
+  }
+
+  void gen_n(const GatherPattern& p, MemRef* out, std::size_t n) {
+    const std::uint64_t table = std::max<std::uint64_t>(p.table_bytes, 512);
+    const std::uint64_t slots = table / p.elem_bytes;
+    if (slot_div.divisor() != slots) slot_div = MagicDiv(slots);
+    std::uint64_t off = cursor_valid() ? cur[0] : (pos * 8) % table;
+    std::uint64_t seq = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.uniform() < p.sequential_fraction) {
+        out[i] = {base + off, false};
+        off += 8;
+        if (off >= table) off -= table;
+        ++seq;
+      } else {
+        const std::uint64_t slot = slot_div.mod(rng.next());
+        out[i] = {base + slot * p.elem_bytes, false};
+      }
+    }
+    pos += seq;
+    save_cursor(off);
+  }
+
+  void gen_n(const ChasePattern& p, MemRef* out, std::size_t n) {
+    const std::uint32_t node = std::max<std::uint32_t>(p.node_bytes, 8);
+    const std::uint64_t nodes =
+        std::max<std::uint64_t>(p.footprint_bytes / node, 16);
+    build_chase_order(nodes);
+    // After the first hop the cursor is itself a node index, so the
+    // per-reference modulo of the scalar path is a no-op; one table
+    // load per reference remains, as a real chase would have.
+    std::uint64_t cur = pos % nodes;
+    for (std::size_t i = 0; i < n; ++i) {
+      cur = chase_order[cur];
+      out[i] = {base + cur * node, false};
+    }
+    pos = cur;
+  }
+
+  void gen_n(const BlockedPattern& p, MemRef* out, std::size_t n) {
+    const std::uint64_t tile = std::max<std::uint64_t>(p.tile_bytes, 256);
+    const std::uint64_t matrix =
+        std::max<std::uint64_t>(p.matrix_bytes, tile);
+    const double reuse = std::max(1.0, p.tile_reuse);
+    const auto phase = static_cast<std::uint64_t>(reuse) + 1;
+    const std::uint64_t slots = tile / 8;
+    if (slot_div.divisor() != slots) slot_div = MagicDiv(slots);
+    std::uint64_t step, stream_off, tile_base;
+    if (cursor_valid()) {
+      step = cur[0];
+      stream_off = cur[1];
+      tile_base = cur[2];
+    } else {
+      step = pos % phase;
+      stream_off = (aux * 8) % matrix;
+      tile_base = ((aux * 8) / tile) * tile % matrix;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (step == 0) {
+        out[i] = {base + stream_off, false};
+        ++aux;
+        stream_off += 8;
+        if (stream_off >= matrix) stream_off -= matrix;
+        tile_base = ((aux * 8) / tile) * tile % matrix;
+      } else {
+        std::uint64_t addr = tile_base + slot_div.mod(rng.next()) * 8;
+        if (addr >= matrix) addr -= matrix;
+        out[i] = {base + addr, step == phase - 1};
+      }
+      if (++step == phase) step = 0;
+    }
+    pos += n;
+    save_cursor(step, stream_off, tile_base);
+  }
+
   MemRef gen(const StreamPattern& p) {
-    const std::uint64_t len = std::max<std::uint64_t>(p.bytes_per_array, 64);
+    // Effective length rounds down to the 8 B element size: otherwise the
+    // cyclic offset (elem * 8) % len straddles element boundaries after
+    // the first wrap whenever bytes_per_array is not a multiple of 8.
+    const std::uint64_t len =
+        std::max<std::uint64_t>(p.bytes_per_array, 64) & ~std::uint64_t{7};
     const int arrays = std::max(1, p.arrays);
     // Round-robin across arrays at the same element offset, 8B elements.
     const std::uint64_t elem = pos / arrays;
@@ -111,9 +370,12 @@ struct TraceGenerator::ComponentState {
     const std::uint64_t table =
         std::max<std::uint64_t>(p.table_bytes, 512);
     if (rng.uniform() < p.sequential_fraction) {
+      // Driver stream cycles inside the declared table range: a separate
+      // [table, 2*table) window would double the simulated footprint
+      // beyond the table_bytes that capacity scaling accounts for.
       const std::uint64_t offset = (pos * 8) % table;
       ++pos;
-      return {base + table + offset, false};  // driver stream, separate range
+      return {base + offset, false};
     }
     const std::uint64_t slot = rng.below(table / p.elem_bytes);
     return {base + slot * p.elem_bytes, false};
@@ -123,15 +385,7 @@ struct TraceGenerator::ComponentState {
     const std::uint32_t node = std::max<std::uint32_t>(p.node_bytes, 8);
     const std::uint64_t nodes =
         std::max<std::uint64_t>(p.footprint_bytes / node, 16);
-    if (chase_order.empty()) {
-      chase_order.resize(nodes);
-      std::iota(chase_order.begin(), chase_order.end(), 0u);
-      // Sattolo shuffle => one full cycle, the canonical chase ring.
-      for (std::uint64_t i = nodes - 1; i > 0; --i) {
-        const std::uint64_t j = rng.below(i);
-        std::swap(chase_order[i], chase_order[j]);
-      }
-    }
+    build_chase_order(nodes);
     pos = chase_order[pos % nodes];
     return {base + static_cast<std::uint64_t>(pos) * node, false};
   }
@@ -201,6 +455,50 @@ MemRef TraceGenerator::next() {
       std::min<std::ptrdiff_t>(it - cumulative_.begin(),
                                static_cast<std::ptrdiff_t>(comps_.size()) - 1));
   return comps_[i]->generate();
+}
+
+void TraceGenerator::fill(MemRef* out, std::size_t n) {
+  // Block size bounds the selection scratch and keeps it cache-resident.
+  constexpr std::size_t kBlock = 4096;
+
+  if (comps_.size() == 1) {
+    // Single component: no mixture to sample, but next() still draws one
+    // selection uniform per reference, so burn the same draws to keep
+    // the generator state identical under any next()/fill() interleave.
+    for (std::size_t i = 0; i < n; ++i) rng_.next();
+    comps_[0]->generate_n(out, n);
+    return;
+  }
+
+  select_.resize(std::min(n, kBlock));
+  const std::uint32_t last =
+      static_cast<std::uint32_t>(comps_.size()) - 1;
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t block = std::min(n - done, kBlock);
+    // Sample the mixture for the whole block first. A linear CDF scan
+    // replaces lower_bound: component counts are tiny and the first
+    // index with cumulative_[c] >= u is the same element lower_bound
+    // finds (cumulative_.back() == 1.0 > u caps the scan).
+    const double* cdf = cumulative_.data();
+    for (std::size_t k = 0; k < block; ++k) {
+      const double u = rng_.uniform();
+      std::uint32_t c = 0;
+      while (c < last && cdf[c] < u) ++c;
+      select_[k] = c;
+    }
+    // Emit per-component runs: one variant dispatch per run instead of
+    // one per reference.
+    std::size_t k = 0;
+    while (k < block) {
+      const std::uint32_t c = select_[k];
+      std::size_t end = k + 1;
+      while (end < block && select_[end] == c) ++end;
+      comps_[c]->generate_n(out + done + k, end - k);
+      k = end;
+    }
+    done += block;
+  }
 }
 
 std::string pattern_name(const Pattern& p) {

@@ -10,6 +10,7 @@
 // CANDLE, mVMC).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -101,10 +102,19 @@ class TraceGenerator {
   /// Next reference in the (infinite, cyclic) trace.
   MemRef next();
 
+  /// Emit the next `n` references of the same trace into `out`. Mixture
+  /// sampling happens for a whole block at once and the per-pattern
+  /// variant dispatch is hoisted to one visit per same-component run, so
+  /// this is the throughput path — but the emitted sequence (and every
+  /// RNG state) is bit-identical to calling next() n times, which the
+  /// property tests assert for all pattern classes.
+  void fill(MemRef* out, std::size_t n);
+
  private:
   struct ComponentState;
   std::vector<std::unique_ptr<ComponentState>> comps_;
   std::vector<double> cumulative_;  ///< CDF over components
+  std::vector<std::uint32_t> select_;  ///< per-block component choices
   Xoshiro256 rng_;
 };
 

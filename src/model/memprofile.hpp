@@ -7,9 +7,24 @@
 #include "arch/cpu_spec.hpp"
 #include "memsim/bandwidth.hpp"
 #include "memsim/hierarchy.hpp"
+#include "memsim/sim_cache.hpp"
 #include "model/workload.hpp"
 
 namespace fpr::model {
+
+/// Default capacity scale-down (2^8 = 256x) for the hierarchy
+/// simulation: keeps footprint/refs ratios small enough that
+/// steady-state hit rates dominate cold misses.
+inline constexpr unsigned kDefaultScaleShift = 8;
+
+/// Seed of the profiling replay (fixed: profiles must be repeatable and
+/// memoizable across stages and processes).
+inline constexpr std::uint64_t kProfileSeed = 0xfeed1234;
+
+/// Default trace length per hierarchy replay: long enough for
+/// steady-state hit rates at the default scale shift, short enough to
+/// keep a full study's simulation budget in check.
+inline constexpr std::uint64_t kDefaultTraceRefs = 400'000;
 
 struct MemoryProfile {
   double l2_hit = 0.0;         ///< Table IV "L2h" (L1 misses that hit L2)
@@ -28,12 +43,15 @@ struct MemoryProfile {
 memsim::AccessPatternSpec per_core_slice(const memsim::AccessPatternSpec& spec,
                                          double divisor);
 
-/// Profile `w` on `cpu`. `refs` bounds the simulated trace length; the
-/// default shift of 8 (256x capacity reduction) keeps footprint/refs
-/// ratios small enough that steady-state hit rates dominate cold misses.
+/// Profile `w` on `cpu`. `refs` bounds the simulated trace length (see
+/// kDefaultScaleShift for the capacity reduction). When `cache` is
+/// non-null the hierarchy replay — the dominant cost — is memoized
+/// through it, keyed by the full simulation input tuple; results are
+/// bit-identical with or without a cache.
 MemoryProfile profile_memory(const arch::CpuSpec& cpu,
                              const WorkloadMeasurement& w,
-                             std::uint64_t refs = 400'000,
-                             unsigned scale_shift = 8);
+                             std::uint64_t refs = kDefaultTraceRefs,
+                             unsigned scale_shift = kDefaultScaleShift,
+                             memsim::SimCache* cache = nullptr);
 
 }  // namespace fpr::model

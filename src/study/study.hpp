@@ -35,7 +35,7 @@ struct StudyConfig {
   double scale = 1.0;       ///< kernel input scale (tests use less)
   unsigned threads = 0;     ///< host worker threads (0 = all)
   bool freq_sweep = true;   ///< run the Fig. 6 frequency evaluation
-  std::uint64_t trace_refs = 400'000;  ///< cache-sim trace length
+  std::uint64_t trace_refs = model::kDefaultTraceRefs;  ///< trace length
   /// Subset of kernel abbreviations to run (empty = all).
   std::vector<std::string> kernels;
   /// PRNG seed for the kernels' synthetic inputs (fixed => repeatable).

@@ -11,6 +11,7 @@
 #include "arch/machines.hpp"
 #include "common/execution_context.hpp"
 #include "common/thread_pool.hpp"
+#include "memsim/sim_cache.hpp"
 #include "model/exec_model.hpp"
 #include "model/memprofile.hpp"
 
@@ -74,12 +75,20 @@ StudyResults StudyEngine::run() {
     cv.notify_all();
   };
 
+  // One memoization store for the whole run: machine stages and every
+  // producer context share it, so identical hierarchy replays — across
+  // repeats, kernels with equal sliced specs, or any jobs split — are
+  // simulated once. Memoized results are the results a fresh simulation
+  // produces, so byte-identity across (kernel_jobs, jobs) is unaffected.
+  auto sim_cache = std::make_shared<memsim::SimCache>();
+
   auto machine_stage = [&](std::size_t ki, std::size_t mi) {
     KernelResult& kr = results.kernels[ki];
     MachineResult& mr = kr.machines[mi];
     const arch::CpuSpec& cpu = machines[mi];
     mr.cpu = cpu;
-    mr.mem = model::profile_memory(cpu, kr.meas, cfg_.trace_refs);
+    mr.mem = model::profile_memory(cpu, kr.meas, cfg_.trace_refs,
+                                   model::kDefaultScaleShift, sim_cache.get());
     mr.perf = model::evaluate_at_turbo(cpu, kr.meas, mr.mem);
     if (cfg_.freq_sweep) {
       for (const auto& fs : cpu.frequency_sweep()) {
@@ -97,6 +106,7 @@ StudyResults StudyEngine::run() {
       // isolation (and, since assays are snapshot deltas, the
       // byte-identity) while avoiding a pool construction per kernel.
       ExecutionContext ctx(cfg_.threads);
+      ctx.lease_sim_cache(sim_cache);
       for (;;) {
         {
           std::lock_guard lock(mu);
@@ -191,6 +201,9 @@ StudyResults StudyEngine::run() {
 
   stats_.kernel_runs = kernel_runs.load(std::memory_order_relaxed);
   stats_.machine_evals = machine_evals.load(std::memory_order_relaxed);
+  const auto sim_stats = sim_cache->stats();
+  stats_.sim_hits = sim_stats.hits;
+  stats_.sim_misses = sim_stats.misses;
   if (error) std::rethrow_exception(error);
   return results;
 }

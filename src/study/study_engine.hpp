@@ -44,6 +44,8 @@ namespace fpr::study {
 struct EngineStats {
   std::uint64_t kernel_runs = 0;    ///< instrumented kernel executions
   std::uint64_t machine_evals = 0;  ///< completed (kernel, machine) stages
+  std::uint64_t sim_hits = 0;       ///< memoized hierarchy replays reused
+  std::uint64_t sim_misses = 0;     ///< hierarchy replays actually simulated
 };
 
 class StudyEngine {

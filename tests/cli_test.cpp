@@ -232,6 +232,49 @@ TEST(Cli, StudyKernelJobsIsByteIdenticalToSerial) {
   EXPECT_NE(parallel.err.find("kernel-jobs=4"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------
+// fpr memsim
+
+TEST(Cli, MemsimPrintsPerLevelHitRates) {
+  const auto r = run({"memsim", "--kernel", "BABL2,XSBn", "--scale", "0.15",
+                      "--refs", "20000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Simulated per-level hit rates"), std::string::npos);
+  EXPECT_NE(r.out.find("L1h%"), std::string::npos);
+  // One row per (kernel, machine); both last-level flavours appear.
+  EXPECT_NE(r.out.find("MCDRAM$"), std::string::npos);
+  EXPECT_NE(r.out.find("LLC"), std::string::npos);
+  for (const char* machine : {"KNL", "KNM", "BDW"}) {
+    EXPECT_NE(r.out.find(machine), std::string::npos) << machine;
+  }
+  EXPECT_NE(r.err.find("memsim cache:"), std::string::npos);
+}
+
+TEST(Cli, MemsimCsvKeepsStdoutMachineParsable) {
+  const auto r = run({"memsim", "--kernel", "BABL2", "--scale", "0.15",
+                      "--refs", "20000", "--csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Kernel,Machine,L1h%"), std::string::npos);
+  EXPECT_EQ(r.out.find("Simulated per-level"), std::string::npos);
+}
+
+TEST(Cli, MemsimHonorsScaleShiftAndRefs) {
+  const auto deep = run({"memsim", "--kernel", "BABL2", "--scale", "0.15",
+                         "--refs", "15000", "--scale-shift", "6"});
+  EXPECT_EQ(deep.code, 0) << deep.err;
+  EXPECT_NE(deep.err.find("refs=15000"), std::string::npos);
+  EXPECT_NE(deep.err.find("scale-shift=6"), std::string::npos);
+  EXPECT_NE(deep.out.find("2^-6"), std::string::npos);
+}
+
+TEST(Cli, MemsimRejectsBadOptions) {
+  EXPECT_EQ(run({"memsim", "--kernel", "NOPE"}).code, 2);
+  EXPECT_EQ(run({"memsim", "--refs", "0"}).code, 2);
+  EXPECT_EQ(run({"memsim", "--scale-shift", "31"}).code, 2);
+  EXPECT_EQ(run({"memsim", "--scale-shift", "-1"}).code, 2);
+  EXPECT_EQ(run({"memsim", "stray"}).code, 2);
+}
+
 TEST(Cli, StudyRejectsBadOptions) {
   EXPECT_EQ(run({"study", "--kernel", "NOPE"}).code, 2);
   EXPECT_EQ(run({"study", "--jobs", "-1"}).code, 2);

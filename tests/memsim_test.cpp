@@ -3,11 +3,16 @@
 
 #include <set>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "arch/machines.hpp"
+#include "common/magic_div.hpp"
+#include "common/rng.hpp"
 #include "memsim/bandwidth.hpp"
 #include "memsim/cache.hpp"
 #include "memsim/hierarchy.hpp"
+#include "memsim/sim_cache.hpp"
 #include "memsim/trace_gen.hpp"
 
 namespace fpr::memsim {
@@ -203,6 +208,294 @@ TEST(Latency, CacheModeMissCostsMore) {
   EXPECT_GT(miss, hit);
   EXPECT_DOUBLE_EQ(effective_latency_ns(arch::bdw(), 0.5),
                    arch::bdw().dram_latency_ns);
+}
+
+// ---------------------------------------------------------------------
+// Satellite fixes: unknown-level lookups throw, stream wraps stay
+// element-aligned, gather footprints stay inside the declared table.
+
+TEST(Hierarchy, UnknownLevelNameThrows) {
+  AccessPatternSpec spec = AccessPatternSpec::single(
+      StreamPattern{.bytes_per_array = 32 * 1024, .arrays = 1});
+  const auto phi = simulate_pattern(arch::knl(), spec, 20000, 7, 6);
+  EXPECT_THROW((void)phi.hit_rate("LLC"), std::out_of_range);
+  EXPECT_THROW((void)phi.served_at_or_above("L3"), std::out_of_range);
+  EXPECT_NO_THROW((void)phi.hit_rate("MCDRAM$"));
+  const auto bdw = simulate_pattern(arch::bdw(), spec, 20000, 7, 6);
+  EXPECT_THROW((void)bdw.hit_rate("MCDRAM$"), std::out_of_range);
+  EXPECT_NO_THROW((void)bdw.served_at_or_above("LLC"));
+}
+
+TEST(TraceGen, StreamWrapStaysElementAligned) {
+  // 1001-byte arrays: the effective length must round down to 1000 so
+  // every offset is a whole 8 B element, even after many wraps.
+  AccessPatternSpec spec = AccessPatternSpec::single(
+      StreamPattern{.bytes_per_array = 1001, .arrays = 1,
+                    .writes_per_iter = 0});
+  TraceGenerator gen(spec, 11);
+  const std::uint64_t base = gen.next().addr;
+  TraceGenerator gen2(spec, 11);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t off = gen2.next().addr - base;
+    EXPECT_EQ(off % 8, 0u) << "misaligned after wrap at ref " << i;
+    EXPECT_LT(off, 1001u);
+  }
+}
+
+TEST(TraceGen, GatherStaysInsideDeclaredFootprint) {
+  constexpr std::uint64_t kTable = 4096;
+  AccessPatternSpec spec = AccessPatternSpec::single(
+      GatherPattern{.table_bytes = kTable, .elem_bytes = 8,
+                    .sequential_fraction = 0.5});
+  TraceGenerator gen(spec, 13);
+  std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = gen.next().addr;
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  // Driver stream and random gather together span at most table_bytes —
+  // the range capacity scaling accounts for.
+  EXPECT_LT(hi - lo, kTable);
+}
+
+// ---------------------------------------------------------------------
+// Batched generation and replay: bit-identical to the scalar oracle.
+
+std::vector<AccessPatternSpec> all_pattern_specs() {
+  std::vector<AccessPatternSpec> specs;
+  specs.push_back(AccessPatternSpec::single(StreamPattern{
+      .bytes_per_array = 100'000, .arrays = 3, .writes_per_iter = 1}));
+  specs.push_back(AccessPatternSpec::single(
+      StridedPattern{.footprint_bytes = 77'777, .stride_bytes = 192}));
+  specs.push_back(AccessPatternSpec::single(
+      StencilPattern{.nx = 17, .ny = 13, .nz = 9, .elem_bytes = 8,
+                     .radius = 1, .full_box = true}));
+  specs.push_back(AccessPatternSpec::single(
+      StencilPattern{.nx = 12, .ny = 20, .nz = 7, .elem_bytes = 4,
+                     .radius = 2, .full_box = false}));
+  specs.push_back(AccessPatternSpec::single(
+      GatherPattern{.table_bytes = 60'000, .elem_bytes = 8,
+                    .sequential_fraction = 0.2}));
+  specs.push_back(AccessPatternSpec::single(
+      ChasePattern{.footprint_bytes = 40'000, .node_bytes = 64}));
+  specs.push_back(AccessPatternSpec::single(
+      BlockedPattern{.matrix_bytes = 90'000, .tile_bytes = 4'000,
+                     .tile_reuse = 7.5}));
+  AccessPatternSpec mix;
+  mix.components.push_back({StreamPattern{.bytes_per_array = 50'000}, 2.0});
+  mix.components.push_back(
+      {GatherPattern{.table_bytes = 30'000, .elem_bytes = 8}, 1.0});
+  mix.components.push_back(
+      {ChasePattern{.footprint_bytes = 20'000, .node_bytes = 64}, 0.5});
+  mix.components.push_back(
+      {BlockedPattern{.matrix_bytes = 40'000, .tile_bytes = 2'048}, 1.5});
+  specs.push_back(mix);
+  return specs;
+}
+
+class BatchedIdentity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchedIdentity, FillMatchesScalarNext) {
+  const auto spec = all_pattern_specs()[GetParam()];
+  constexpr std::size_t kRefs = 30'000;
+  TraceGenerator scalar(spec, 99);
+  TraceGenerator batched(spec, 99);
+  std::vector<MemRef> buf(kRefs);
+  batched.fill(buf.data(), kRefs);
+  for (std::size_t i = 0; i < kRefs; ++i) {
+    const MemRef want = scalar.next();
+    ASSERT_EQ(buf[i].addr, want.addr) << "ref " << i;
+    ASSERT_EQ(buf[i].write, want.write) << "ref " << i;
+  }
+}
+
+TEST_P(BatchedIdentity, FillAndNextInterleaveCleanly) {
+  const auto spec = all_pattern_specs()[GetParam()];
+  TraceGenerator scalar(spec, 7);
+  TraceGenerator mixed(spec, 7);
+  std::vector<MemRef> buf(1024);
+  // Alternate odd-sized fills with scalar next() calls; the generator
+  // state must track the pure-scalar stream exactly.
+  const std::size_t chunks[] = {1, 7, 501, 3, 64, 997, 2, 130};
+  for (const std::size_t c : chunks) {
+    mixed.fill(buf.data(), c);
+    for (std::size_t i = 0; i < c; ++i) {
+      const MemRef want = scalar.next();
+      ASSERT_EQ(buf[i].addr, want.addr);
+      ASSERT_EQ(buf[i].write, want.write);
+    }
+    for (int i = 0; i < 5; ++i) {
+      const MemRef want = scalar.next();
+      const MemRef got = mixed.next();
+      ASSERT_EQ(got.addr, want.addr);
+      ASSERT_EQ(got.write, want.write);
+    }
+  }
+}
+
+TEST_P(BatchedIdentity, ReplayMatchesScalarReplay) {
+  const auto spec = all_pattern_specs()[GetParam()];
+  for (const auto& cpu : arch::all_machines()) {
+    Hierarchy hb(cpu, 6);
+    Hierarchy hs(cpu, 6);
+    TraceGenerator gb(spec, 3);
+    TraceGenerator gs(spec, 3);
+    const auto rb = hb.replay(gb, 40'000, 10'000);
+    const auto rs = hs.replay_scalar(gs, 40'000, 10'000);
+    ASSERT_EQ(rb.levels.size(), rs.levels.size());
+    for (std::size_t i = 0; i < rb.levels.size(); ++i) {
+      EXPECT_EQ(rb.levels[i].name, rs.levels[i].name);
+      EXPECT_EQ(rb.levels[i].stats.hits, rs.levels[i].stats.hits)
+          << cpu.short_name << " level " << rb.levels[i].name;
+      EXPECT_EQ(rb.levels[i].stats.misses, rs.levels[i].stats.misses);
+      EXPECT_EQ(rb.levels[i].stats.writebacks,
+                rs.levels[i].stats.writebacks);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, BatchedIdentity,
+                         ::testing::Range<std::size_t>(0, 8));
+
+TEST(BatchedIdentitySuite, CoversEverySpec) {
+  // Guard the Range() above against spec-list growth.
+  EXPECT_EQ(all_pattern_specs().size(), 8u);
+}
+
+TEST(Cache, AccessManyMatchesScalarAccess) {
+  // Random traffic through equal caches, including a non-power-of-two
+  // set count (the magic-division path) and a wide (stamp-path) cache.
+  const CacheConfig configs[] = {
+      {.size_bytes = 8192, .line_bytes = 64, .associativity = 8},
+      {.size_bytes = 3 * 64 * 8, .line_bytes = 64, .associativity = 8},
+      {.size_bytes = 24 * 64 * 24, .line_bytes = 64, .associativity = 24},
+      {.size_bytes = 64 * 16, .line_bytes = 64, .associativity = 16},
+  };
+  for (const auto& cfg : configs) {
+    Cache a(cfg);
+    Cache b(cfg);
+    Xoshiro256 rng(5);
+    std::vector<MemRef> refs(2048);
+    for (int round = 0; round < 8; ++round) {
+      for (auto& r : refs) {
+        r.addr = rng.below(1u << 16);
+        r.write = rng.uniform() < 0.3;
+      }
+      std::vector<MemRef> scalar_misses;
+      for (const auto& r : refs) {
+        if (!a.access(r.addr, r.write)) scalar_misses.push_back(r);
+      }
+      std::vector<MemRef> batch = refs;
+      const std::size_t live = b.access_many(batch.data(), batch.size());
+      ASSERT_EQ(live, scalar_misses.size());
+      for (std::size_t i = 0; i < live; ++i) {
+        ASSERT_EQ(batch[i].addr, scalar_misses[i].addr);
+        ASSERT_EQ(batch[i].write, scalar_misses[i].write);
+      }
+      EXPECT_EQ(a.stats().hits, b.stats().hits);
+      EXPECT_EQ(a.stats().misses, b.stats().misses);
+      EXPECT_EQ(a.stats().writebacks, b.stats().writebacks);
+    }
+  }
+}
+
+TEST(MagicDivTest, ExactForAwkwardDivisors) {
+  const std::uint64_t divisors[] = {1,  2,   3,    5,    7,   12,
+                                    24, 255, 1000, 4095, 12345};
+  Xoshiro256 rng(17);
+  for (const std::uint64_t d : divisors) {
+    const MagicDiv m(d);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t x = rng.next();
+      ASSERT_EQ(m.div(x), x / d) << "x=" << x << " d=" << d;
+      ASSERT_EQ(m.mod(x), x % d);
+    }
+    for (std::uint64_t x = 0; x < 100; ++x) {
+      ASSERT_EQ(m.div(x), x / d);
+    }
+    ASSERT_EQ(m.div(~std::uint64_t{0}), ~std::uint64_t{0} / d);
+  }
+  EXPECT_THROW(MagicDiv(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// SimCache: memoization must be invisible except in speed.
+
+TEST(SimCacheTest, CachedResultIsIdenticalAndCounted) {
+  SimCache cache;
+  const auto spec = AccessPatternSpec::single(
+      GatherPattern{.table_bytes = 1u << 20, .elem_bytes = 8});
+  const auto fresh = simulate_pattern(arch::knl(), spec, 30'000, 42, 6);
+  const auto first =
+      simulate_pattern_cached(&cache, arch::knl(), spec, 30'000, 42, 6);
+  const auto second =
+      simulate_pattern_cached(&cache, arch::knl(), spec, 30'000, 42, 6);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  for (const auto* r : {&first, &second}) {
+    ASSERT_EQ(r->levels.size(), fresh.levels.size());
+    for (std::size_t i = 0; i < fresh.levels.size(); ++i) {
+      EXPECT_EQ(r->levels[i].stats.hits, fresh.levels[i].stats.hits);
+      EXPECT_EQ(r->levels[i].stats.misses, fresh.levels[i].stats.misses);
+    }
+  }
+}
+
+TEST(SimCacheTest, KeyDiscriminatesEveryInput) {
+  const auto spec = AccessPatternSpec::single(
+      GatherPattern{.table_bytes = 1u << 20, .elem_bytes = 8});
+  auto spec2 = spec;
+  std::get<GatherPattern>(spec2.components[0].pattern).table_bytes += 1;
+  auto spec3 = spec;
+  spec3.components[0].weight = 2.0;
+  const std::string base = SimCache::key(arch::knl(), spec, 1000, 42, 6);
+  EXPECT_NE(base, SimCache::key(arch::knm(), spec, 1000, 42, 6));
+  EXPECT_NE(base, SimCache::key(arch::knl(), spec2, 1000, 42, 6));
+  EXPECT_NE(base, SimCache::key(arch::knl(), spec3, 1000, 42, 6));
+  EXPECT_NE(base, SimCache::key(arch::knl(), spec, 1001, 42, 6));
+  EXPECT_NE(base, SimCache::key(arch::knl(), spec, 1000, 43, 6));
+  EXPECT_NE(base, SimCache::key(arch::knl(), spec, 1000, 42, 7));
+  EXPECT_EQ(base, SimCache::key(arch::knl(), spec, 1000, 42, 6));
+}
+
+TEST(SimCacheTest, ConcurrentLookupsAreDeterministic) {
+  // Many threads race the same small key set; every thread must see the
+  // exact stats a serial simulation produces, and the cache must end up
+  // with one entry per distinct key.
+  SimCache cache;
+  const auto specs = all_pattern_specs();
+  std::vector<HierarchyResult> serial;
+  serial.reserve(specs.size());
+  for (const auto& s : specs) {
+    serial.push_back(simulate_pattern(arch::knl(), s, 10'000, 9, 6));
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> bad(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+          const auto r = simulate_pattern_cached(&cache, arch::knl(),
+                                                 specs[i], 10'000, 9, 6);
+          for (std::size_t l = 0; l < r.levels.size(); ++l) {
+            if (r.levels[l].stats.hits != serial[i].levels[l].stats.hits ||
+                r.levels[l].stats.misses !=
+                    serial[i].levels[l].stats.misses) {
+              bad[static_cast<std::size_t>(t)] = 1;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const int b : bad) EXPECT_EQ(b, 0);
+  EXPECT_EQ(cache.size(), specs.size());
+  const auto cs = cache.stats();
+  EXPECT_EQ(cs.hits + cs.misses, 8u * 3u * specs.size());
+  EXPECT_GE(cs.misses, specs.size());
 }
 
 }  // namespace

@@ -209,6 +209,34 @@ TEST(StudyEngine, KernelRunsExactlyOncePerKernel) {
   }
 }
 
+// All FakeKernels publish the same access-pattern spec, so the engine's
+// shared SimCache must simulate each machine's hierarchy exactly once
+// and serve every other (kernel, machine) stage from memory — across
+// any jobs split, with identical results (covered by the byte-identity
+// tests above, which run through the same cache).
+TEST(StudyEngine, MachineStagesShareMemoizedSimulations) {
+  for (const unsigned kernel_jobs : {1u, 4u}) {
+    for (const unsigned jobs : {1u, 4u}) {
+      RunLog log;
+      StudyEngine engine(fake_config(jobs, kernel_jobs),
+                         fake_factory({"K0", "K1", "K2"}, &log));
+      (void)engine.run();
+      EXPECT_EQ(engine.stats().machine_evals, 9u);
+      // 3 machines -> 3 distinct simulation keys across 9 stages. Under
+      // concurrency two stages may both miss the same key before either
+      // inserts (first writer wins, values identical), so only the
+      // serial schedule pins the exact split.
+      EXPECT_EQ(engine.stats().sim_hits + engine.stats().sim_misses, 9u)
+          << "kernel_jobs=" << kernel_jobs << " jobs=" << jobs;
+      EXPECT_GE(engine.stats().sim_misses, 3u);
+      if (kernel_jobs == 1 && jobs == 1) {
+        EXPECT_EQ(engine.stats().sim_misses, 3u);
+        EXPECT_EQ(engine.stats().sim_hits, 6u);
+      }
+    }
+  }
+}
+
 TEST(StudyEngine, FailFastPropagatesKernelException) {
   for (const unsigned jobs : {1u, 4u}) {
     RunLog log;
