@@ -4,13 +4,51 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "study/paper_data.hpp"
 #include "study/study.hpp"
 
 namespace fpr::bench {
+
+inline std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Parse a "1,2,4,8" job-count ladder with the fpr CLI's guards: stoul
+/// wraps negatives instead of throwing, and absurd counts would try to
+/// spawn that many threads. Exits 2 on invalid input.
+inline std::vector<unsigned> parse_ladder(const std::string& s) {
+  std::vector<unsigned> out;
+  for (const auto& j : split_csv(s)) {
+    unsigned long v = 0;
+    bool ok = j.find('-') == std::string::npos;
+    if (ok) {
+      try {
+        v = std::stoul(j);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok || v == 0 || v > 4096) {
+      std::cerr << "invalid ladder value '" << j
+                << "' (want integers in 1..4096)\n";
+      std::exit(2);
+    }
+    out.push_back(static_cast<unsigned>(v));
+  }
+  return out;
+}
 
 inline study::StudyResults run_full_study(bool freq_sweep = true) {
   study::StudyConfig cfg;

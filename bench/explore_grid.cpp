@@ -1,18 +1,15 @@
-// StudyEngine throughput bench: runs the same deterministic study over a
-// two-dimensional (kernel-jobs x machine-jobs) ladder and reports the
-// wall-clock speedup over the serial (1, 1) baseline, verifying along
-// the way that EVERY point produced byte-identical JSON (the engine's
-// core guarantee: both fan-out axes are pure reorderings of the serial
-// pipeline). Kernel runs execute in per-run ExecutionContexts, so the
-// kernel-jobs axis is where the de-globalized counters/pool pay off; the
-// machine-jobs axis parallelizes the memsim/model/freq-sweep stages as
-// before. On a >= 4-core host the ladder demonstrates a >= 2x speedup;
-// on smaller hosts it degenerates gracefully and says so.
+// ExploreEngine throughput bench: runs the same deterministic what-if
+// sweep (full proxy subset x the built-in KNL variant grid) over a
+// two-dimensional (kernel-jobs x machine-jobs) ladder, reports the
+// wall-clock speedup over the serial (1, 1) baseline, and verifies that
+// EVERY point produced byte-identical JSON — the explore grid inherits
+// the StudyEngine guarantee that both fan-out axes are pure reorderings.
+// It also prints the SimCache hit rate: variants that leave the cache
+// geometry untouched must ride the base machine's hierarchy replays, so
+// the sweep's simulation cost stays near the baseline study's.
 //
-//   ./build/study_parallel [--kernels A,B,...] [--scale S]
-//                          [--trace-refs N] [--jobs 1,2,4,8]
-//                          [--kernel-jobs 1,2,4,8]
-#include <algorithm>
+//   ./build/explore_grid [--kernels A,B,...] [--scale S] [--trace-refs N]
+//                        [--jobs 1,2,4,8] [--kernel-jobs 1,2,4]
 #include <iostream>
 #include <string>
 #include <thread>
@@ -21,23 +18,23 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
-#include "io/study_json.hpp"
-#include "study/study_engine.hpp"
+#include "io/explore_json.hpp"
+#include "study/explore.hpp"
 
 int main(int argc, char** argv) {
   using namespace fpr;
   using bench::parse_ladder;
   using bench::split_csv;
 
-  study::StudyConfig cfg;
+  study::ExploreConfig cfg;
+  cfg.base = "KNL";  // built-in grid: 8 variants incl. both MCDRAM knobs
   cfg.scale = 0.2;
-  cfg.threads = 1;  // keep each kernel run cheap and host-independent
+  cfg.threads = 1;
   cfg.trace_refs = 400'000;
-  cfg.canonical_timing = true;
   cfg.kernels = {"AMG",  "HPL",  "XSBn", "BABL2", "MxIO",
                  "NGSA", "NekB", "CoMD", "SW4L",  "MiFE"};
   std::vector<unsigned> jobs_ladder = {1, 2, 4, 8};
-  std::vector<unsigned> kernel_jobs_ladder = {1, 2, 4, 8};
+  std::vector<unsigned> kernel_jobs_ladder = {1, 2, 4};
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -63,22 +60,21 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  // The (1, 1) baseline anchors both the speedup column and the
-  // byte-identity check, so each axis must start at 1.
   for (auto* ladder : {&jobs_ladder, &kernel_jobs_ladder}) {
     if (ladder->empty() || ladder->front() != 1) {
       ladder->insert(ladder->begin(), 1);
     }
   }
 
-  bench::header("StudyEngine parallel throughput",
-                "the Sec. III-A pipeline, parallelized on both axes");
+  bench::header("ExploreEngine what-if grid throughput",
+                "the Sec. VII design-space sweep, parallelized");
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::cout << "host: " << hw << " hardware thread(s); "
-            << cfg.kernels.size() << " kernel(s), trace_refs="
-            << cfg.trace_refs << "\n\n";
+  std::cout << "host: " << hw << " hardware thread(s); " << cfg.kernels.size()
+            << " kernel(s) x (base + built-in " << cfg.base
+            << " grid), trace_refs=" << cfg.trace_refs << "\n\n";
 
-  TextTable table({"KernelJobs", "Jobs", "Wall[s]", "Speedup", "Identical"});
+  TextTable table({"KernelJobs", "Jobs", "Wall[s]", "Speedup", "SimHit%",
+                   "Identical"});
   double base_seconds = 0.0;
   std::string base_json;
   for (const unsigned kernel_jobs : kernel_jobs_ladder) {
@@ -87,7 +83,7 @@ int main(int argc, char** argv) {
       run_cfg.jobs = jobs;
       run_cfg.kernel_jobs = kernel_jobs;
       WallTimer timer;
-      study::StudyEngine engine(run_cfg);
+      study::ExploreEngine engine(run_cfg);
       const auto results = engine.run();
       const double seconds = timer.seconds();
       const std::string json = io::dump(io::to_json(results));
@@ -95,11 +91,17 @@ int main(int argc, char** argv) {
         base_seconds = seconds;
         base_json = json;
       }
+      const auto& st = engine.stats();
+      const double total =
+          static_cast<double>(st.sim_hits + st.sim_misses);
       table.row()
           .integer(kernel_jobs)
           .integer(jobs)
           .num(seconds, 3)
           .num(base_seconds > 0 ? base_seconds / seconds : 1.0, 2)
+          .num(total > 0 ? 100.0 * static_cast<double>(st.sim_hits) / total
+                         : 0.0,
+               1)
           .cell(json == base_json ? "yes" : "NO")
           .done();
       if (json != base_json) {
@@ -112,8 +114,8 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   if (hw < 4) {
-    std::cout << "\n(host has < 4 hardware threads; the >= 2x ladder "
-                 "needs a >= 4-core machine)\n";
+    std::cout << "\n(host has < 4 hardware threads; speedups need a >= "
+                 "4-core machine)\n";
   }
   return 0;
 }

@@ -59,6 +59,13 @@ struct CpuSpec {
   double dram_bw_gbs = 0.0;
   double mcdram_gib = 0.0;     ///< 0 = no MCDRAM
   double mcdram_bw_gbs = 0.0;  ///< flat-mode Triad bandwidth
+  /// Fraction of the flat-mode Triad bandwidth a cache-mode hit
+  /// sustains (tag probes; calibrated to the paper's BabelStream 2 GiB
+  /// points). 0 = let the bandwidth model fall back to its per-family
+  /// defaults. Carried here — not keyed off the machine name — so
+  /// derived variants (arch::derive_variant) inherit their base's
+  /// efficiency.
+  double mcdram_hit_eff = 0.0;
   bool mcdram_cache_mode = false;
   double llc_mib = 0.0;
 

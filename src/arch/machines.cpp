@@ -25,6 +25,7 @@ CpuSpec knl() {
   c.dram_bw_gbs = 71.0;  // measured Triad (Table I)
   c.mcdram_gib = 16.0;
   c.mcdram_bw_gbs = 439.0;  // flat-mode Triad
+  c.mcdram_hit_eff = 0.86;  // paper Sec. IV-C: BABL2 at 86% of flat mode
   c.mcdram_cache_mode = true;
   c.llc_mib = 32.0;  // aggregated L2 (1 MiB per 2-core tile)
   c.l1_kib = 32;
@@ -61,6 +62,7 @@ CpuSpec knm() {
   c.dram_bw_gbs = 88.0;
   c.mcdram_gib = 16.0;
   c.mcdram_bw_gbs = 430.0;
+  c.mcdram_hit_eff = 0.75;  // paper Sec. IV-C: BABL2 at 75% of flat mode
   c.mcdram_cache_mode = true;
   c.llc_mib = 36.0;
   c.l1_kib = 32;

@@ -1,0 +1,146 @@
+#include "arch/variant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fpr::arch {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& transform, const std::string& why) {
+  throw std::invalid_argument("variant transform '" + transform + "': " + why);
+}
+
+double parse_factor(const std::string& transform, const std::string& text) {
+  double f = 0.0;
+  try {
+    std::size_t pos = 0;
+    f = std::stod(text, &pos);
+    if (pos != text.size()) bad(transform, "trailing junk in factor");
+  } catch (const std::invalid_argument&) {
+    bad(transform, "malformed factor '" + text + "'");
+  } catch (const std::out_of_range&) {
+    bad(transform, "factor '" + text + "' out of range");
+  }
+  if (!std::isfinite(f) || f <= 0.0) {
+    bad(transform, "factor must be finite and > 0");
+  }
+  return f;
+}
+
+int integer_factor(const std::string& transform, double f, int min) {
+  const double r = std::round(f);
+  if (std::abs(f - r) > 1e-9 || r < min) {
+    bad(transform, "factor must be an integer >= " + std::to_string(min));
+  }
+  return static_cast<int>(r);
+}
+
+void require_mcdram(const CpuSpec& spec, const std::string& transform) {
+  if (!spec.has_mcdram()) {
+    bad(transform, spec.short_name + " has no MCDRAM");
+  }
+}
+
+}  // namespace
+
+const std::vector<TransformInfo>& transform_catalogue() {
+  static const std::vector<TransformInfo> catalogue = {
+      {"halve-fp64", false,
+       "halve the FP64 pipes (pipe count, then vector width)"},
+      {"drop-fp64-vec", false,
+       "remove vector FP64 entirely; scalar (64-bit) FMA retained"},
+      {"widen-fp32", true,
+       "multiply the FP32/VNNI pipe count (integer factor, default 2)"},
+      {"dram-bw", true, "scale the DDR Triad bandwidth (default 1.5)"},
+      {"mcdram-bw", true,
+       "scale the MCDRAM Triad bandwidth (Phi only, default 1.5)"},
+      {"mcdram-cap", true, "scale the MCDRAM capacity (Phi only, default 2)"},
+      {"cores", true, "scale the core count, rounded (default 1.25)"},
+      {"tdp", true, "scale the TDP envelope (default 0.85)"},
+  };
+  return catalogue;
+}
+
+void apply_transform(CpuSpec& spec, const std::string& transform) {
+  std::string name = transform;
+  bool has_factor = false;
+  double factor = 0.0;
+  if (const auto eq = transform.find('='); eq != std::string::npos) {
+    name = transform.substr(0, eq);
+    factor = parse_factor(transform, transform.substr(eq + 1));
+    has_factor = true;
+  }
+
+  if (name == "halve-fp64") {
+    if (has_factor) bad(transform, "takes no factor");
+    if (spec.fp64_fpu.units > 1) {
+      spec.fp64_fpu.units /= 2;
+    } else if (spec.fp64_fpu.vector_bits > 64) {
+      spec.fp64_fpu.vector_bits /= 2;
+    } else {
+      bad(transform, "already down to scalar FP64");
+    }
+  } else if (name == "drop-fp64-vec") {
+    if (has_factor) bad(transform, "takes no factor");
+    // Chips that shed vector DP silicon keep scalar DP (the KNM story,
+    // taken to its end): one 64-bit FMA pipe survives so the machine
+    // still validates and FP64 code still runs — dog slow.
+    spec.fp64_fpu = FpuConfig{.units = 1, .vector_bits = 64, .pump = 1};
+  } else if (name == "widen-fp32") {
+    const int k = integer_factor(transform, has_factor ? factor : 2.0, 2);
+    spec.fp32_fpu.units *= k;
+  } else if (name == "dram-bw") {
+    spec.dram_bw_gbs *= has_factor ? factor : 1.5;
+  } else if (name == "mcdram-bw") {
+    require_mcdram(spec, transform);
+    spec.mcdram_bw_gbs *= has_factor ? factor : 1.5;
+  } else if (name == "mcdram-cap") {
+    require_mcdram(spec, transform);
+    spec.mcdram_gib *= has_factor ? factor : 2.0;
+  } else if (name == "cores") {
+    const double f = has_factor ? factor : 1.25;
+    spec.cores = std::max(
+        1, static_cast<int>(std::lround(static_cast<double>(spec.cores) * f)));
+  } else if (name == "tdp") {
+    spec.tdp_w *= has_factor ? factor : 0.85;
+  } else {
+    bad(transform, "unknown transform");
+  }
+}
+
+MachineVariant derive_variant(const CpuSpec& base, const std::string& spec) {
+  MachineVariant v;
+  v.spec = spec;
+  v.cpu = base;
+  if (!spec.empty()) {
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+      const std::size_t end = std::min(spec.find('+', begin), spec.size());
+      const std::string transform = spec.substr(begin, end - begin);
+      if (transform.empty()) {
+        throw std::invalid_argument("variant spec '" + spec +
+                                    "': empty transform");
+      }
+      apply_transform(v.cpu, transform);
+      begin = end + 1;
+    }
+    v.cpu.short_name = base.short_name + "+" + spec;
+    v.cpu.name = base.name + " [" + spec + "]";
+    v.cpu.validate();  // a derived machine must be internally consistent
+  }
+  return v;
+}
+
+std::vector<std::string> builtin_variant_specs(const CpuSpec& base) {
+  std::vector<std::string> specs = {"halve-fp64", "drop-fp64-vec",
+                                    "widen-fp32", "dram-bw=1.5",
+                                    "cores=1.25", "tdp=0.85"};
+  if (base.has_mcdram()) {
+    specs.insert(specs.begin() + 4, {"mcdram-bw=1.5", "mcdram-cap=2"});
+  }
+  return specs;
+}
+
+}  // namespace fpr::arch

@@ -1,0 +1,64 @@
+// Machine-variant derivation: named transforms of a base CpuSpec for the
+// paper's Sec. VII what-if question — could silicon budget shift away
+// from FP64 FPUs toward bandwidth and low-precision compute without
+// hurting the workloads? Each transform is a small, parameterized
+// rewrite of one resource (FPU pipes, bandwidths, MCDRAM capacity,
+// cores, TDP); a variant composes one or more transforms and is
+// re-validate()d, so an exploration grid can only contain internally
+// consistent machines.
+//
+// Spec grammar (what `fpr explore --variants` parses):
+//
+//   variant  := transform ( '+' transform )*
+//   transform:= name | name '=' factor
+//
+// e.g. "dram-bw=1.5", "halve-fp64+dram-bw=1.5". Numeric transforms take
+// multiplicative factors against the base machine's value.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/cpu_spec.hpp"
+
+namespace fpr::arch {
+
+/// A derived machine: the composed spec string, the derived short name
+/// ("<base>+<spec>", unique per spec and never colliding with a Table I
+/// machine), and the re-validated CpuSpec.
+struct MachineVariant {
+  std::string spec;  ///< canonical transform spec ("" = the base itself)
+  CpuSpec cpu;
+};
+
+/// One catalogue entry per named transform (name, value semantics,
+/// one-line description) — the material `fpr explore` prints in its
+/// usage and README table.
+struct TransformInfo {
+  std::string name;
+  bool takes_factor = false;
+  std::string description;
+};
+
+/// The built-in transform catalogue (>= 6 entries).
+const std::vector<TransformInfo>& transform_catalogue();
+
+/// Apply a single "name[=factor]" transform to `spec` in place (no
+/// validation; derive_variant validates the composition). Throws
+/// std::invalid_argument for unknown names, malformed or non-positive
+/// factors, and MCDRAM transforms on machines without MCDRAM.
+void apply_transform(CpuSpec& spec, const std::string& transform);
+
+/// Derive a named, validated variant of `base` from a composed spec
+/// ("t1+t2+..."). The derived short name is "<base.short_name>+<spec>".
+/// Throws std::invalid_argument when a transform is unknown/malformed or
+/// the composed machine fails CpuSpec::validate() (e.g. a dram-bw factor
+/// that pushes DDR past the MCDRAM).
+MachineVariant derive_variant(const CpuSpec& base, const std::string& spec);
+
+/// The default exploration grid for `base`: every applicable built-in
+/// transform applied singly with its default factor (>= 6 specs for any
+/// base; MCDRAM transforms are included only for MCDRAM machines).
+std::vector<std::string> builtin_variant_specs(const CpuSpec& base);
+
+}  // namespace fpr::arch

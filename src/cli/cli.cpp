@@ -11,14 +11,17 @@
 #include <limits>
 
 #include "arch/machines.hpp"
+#include "arch/variant.hpp"
 #include "common/execution_context.hpp"
 #include "common/table.hpp"
 #include "counters/op_tally.hpp"
+#include "io/explore_json.hpp"
 #include "io/study_json.hpp"
 #include "kernels/kernel.hpp"
 #include "model/exec_model.hpp"
 #include "model/memprofile.hpp"
 #include "model/roofline.hpp"
+#include "study/explore.hpp"
 #include "study/figures.hpp"
 #include "study/methodology.hpp"
 #include "study/study_engine.hpp"
@@ -37,8 +40,11 @@ constexpr const char* kUsage =
     "                       freq sweep) on the parallel StudyEngine\n"
     "  memsim [options]     per-kernel x machine cache-hierarchy hit-rate\n"
     "                       table (the simulated PCM counters)\n"
-    "  diff A.json B.json   compare two study results files metric by\n"
-    "                       metric (relative deltas)\n"
+    "  explore [options]    what-if machine exploration: sweep the kernels\n"
+    "                       across derived variants of a base machine and\n"
+    "                       score each variant against it (Sec. VII)\n"
+    "  diff A.json B.json   compare two results files (study or explore)\n"
+    "                       metric by metric (relative deltas)\n"
     "  help                 show this message\n"
     "\n"
     "run/study options:\n"
@@ -76,6 +82,21 @@ constexpr const char* kUsage =
     "  --scale-shift S      capacity scale-down exponent: footprints and\n"
     "                       cache sizes shrink by 2^S (default 8, max 30)\n"
     "\n"
+    "explore options (plus --kernel/--scale/--threads/--seed/--trace-refs/\n"
+    "--jobs/--kernel-jobs/--csv/--out as above):\n"
+    "  --base M             base machine short name: KNL, KNM, or BDW\n"
+    "                       (default KNL)\n"
+    "  --variants S[,S...]  variant specs to derive from the base\n"
+    "                       (default: the built-in grid). A spec composes\n"
+    "                       transforms with '+': name or name=FACTOR, e.g.\n"
+    "                       halve-fp64+dram-bw=1.5. Transforms: halve-fp64,\n"
+    "                       drop-fp64-vec, widen-fp32[=K], dram-bw[=F],\n"
+    "                       mcdram-bw[=F], mcdram-cap[=F], cores[=F],\n"
+    "                       tdp[=F]; factors scale the base value\n"
+    "  --golden             use the exact explore-snapshot configuration\n"
+    "                       (overrides base/variants/kernel/scale/threads/\n"
+    "                       seed/trace-refs)\n"
+    "\n"
     "diff options:\n"
     "  --tolerance T        max relative delta accepted per metric\n"
     "                       (default 0; exit 1 if any metric exceeds it)\n";
@@ -97,6 +118,9 @@ struct RunOptions {
   bool timing = false;
   bool golden = false;
   std::string out;  // results JSON destination; "-" = stdout
+  // explore
+  std::string base = "KNL";
+  std::vector<std::string> variants;  // empty = built-in grid
   // diff
   double tolerance = 0.0;
   // non-option arguments (diff's two file paths)
@@ -359,6 +383,99 @@ int cmd_study(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `fpr explore`: the Sec. VII what-if sweep — derive variants of a base
+/// machine, evaluate every kernel on each, and score the variants
+/// against the base (time/energy geomeans, FP64 %-of-peak, the Fig. 7
+/// site-weighted projection).
+int cmd_explore(const RunOptions& opt, std::ostream& out, std::ostream& err) {
+  study::ExploreConfig cfg;
+  if (opt.golden) {
+    cfg = study::golden_explore_config();
+  } else {
+    std::string bad;
+    cfg.kernels = resolve_kernels(opt.kernels, bad);
+    if (!bad.empty()) return usage_error(err, bad);
+    cfg.base = opt.base;
+    cfg.variants = opt.variants;
+    cfg.scale = opt.scale;
+    cfg.threads = opt.threads;
+    cfg.seed = opt.seed;
+    cfg.trace_refs = opt.trace_refs;
+  }
+  // Job counts never change the results, so they stay user-controlled
+  // even under --golden.
+  cfg.jobs = opt.jobs;
+  cfg.kernel_jobs = opt.kernel_jobs;
+
+  err << "[fpr] explore: base " << cfg.base << ", "
+      << (cfg.variants.empty() ? std::string("built-in variant grid")
+                               : std::to_string(cfg.variants.size()) +
+                                     " variant(s)")
+      << ", " << cfg.kernels.size()
+      << " kernel(s) (0 = all), jobs=" << cfg.jobs
+      << ", kernel-jobs=" << cfg.kernel_jobs << "\n";
+
+  study::ExploreEngine engine(cfg);
+  const auto results = engine.run();
+  const bool json_to_stdout = opt.out == "-";
+  std::ostream& heading = (opt.csv || json_to_stdout) ? err : out;
+
+  if (!json_to_stdout) {
+    TextTable summary({"Variant", "Spec", "GeoT2sol", "GeoEnergy",
+                       "FP64%peak", "Site%peak"});
+    auto add_summary = [&](const study::VariantScore& v) {
+      summary.row()
+          .cell(v.name())
+          .cell(v.variant.spec.empty() ? "(base)" : v.variant.spec)
+          .num(v.geomean_time_ratio, 3)
+          .num(v.geomean_energy_ratio, 3)
+          .num(v.mean_fp64_pct_peak, 2)
+          .num(v.site_pct_peak, 2)
+          .done();
+    };
+    add_summary(results.baseline);
+    for (const auto& v : results.variants) add_summary(v);
+    heading << "Variant scorecard vs " << results.base
+            << " (ratios < 1 = variant better; " << engine.stats().kernel_runs
+            << " kernel run(s), " << engine.stats().machine_evals
+            << " machine eval(s), " << engine.stats().sim_hits
+            << " memoized replay(s)):\n";
+    print(summary, opt.csv, out);
+
+    TextTable detail({"Kernel", "Variant", "Bound", "t2sol[s]", "xBase",
+                      "xBaseEnergy", "FP64%peak"});
+    std::vector<const study::VariantScore*> all{&results.baseline};
+    for (const auto& v : results.variants) all.push_back(&v);
+    for (std::size_t ki = 0; ki < results.baseline.kernels.size(); ++ki) {
+      for (const auto* v : all) {
+        const auto& p = v->kernels[ki];
+        detail.row()
+            .cell(p.abbrev)
+            .cell(v->name())
+            .cell(std::string(model::to_string(p.perf.bound)))
+            .num(p.perf.seconds, 3)
+            .num(p.time_ratio, 3)
+            .num(p.energy_ratio, 3)
+            .num(p.fp64_pct_peak, 2)
+            .done();
+      }
+    }
+    heading << "Per-kernel projection:\n";
+    print(detail, opt.csv, out);
+  }
+
+  if (!opt.out.empty()) {
+    const auto doc = io::to_json(results);
+    if (json_to_stdout) {
+      out << io::dump(doc) << "\n";
+    } else {
+      io::save_file(opt.out, doc);
+      err << "[fpr] wrote " << opt.out << "\n";
+    }
+  }
+  return 0;
+}
+
 /// `fpr memsim`: expose the hierarchy simulation directly — one row per
 /// (kernel, machine) with the per-level hit rates the model consumes
 /// (the stand-in for the paper's PCM counter readings). Kernels run once
@@ -489,31 +606,39 @@ class DiffReport {
   double max_delta_ = 0.0;
 };
 
+/// The (MemoryProfile, EvalResult) metric rows shared by the study and
+/// explore comparisons.
+void diff_perf_mem(DiffReport& d, const std::string& kernel,
+                   const std::string& mc, const model::MemoryProfile& ma,
+                   const model::MemoryProfile& mb, const model::EvalResult& pa,
+                   const model::EvalResult& pb) {
+  d.mismatch(kernel, mc, "bound", std::string(model::to_string(pa.bound)),
+             std::string(model::to_string(pb.bound)));
+  d.metric(kernel, mc, "t2sol", pa.seconds, pb.seconds);
+  d.metric(kernel, mc, "gflops", pa.gflops, pb.gflops);
+  d.metric(kernel, mc, "pct_of_peak", pa.pct_of_peak, pb.pct_of_peak);
+  d.metric(kernel, mc, "mem_throughput_gbs", pa.mem_throughput_gbs,
+           pb.mem_throughput_gbs);
+  d.metric(kernel, mc, "power_w", pa.power_w, pb.power_w);
+  d.metric(kernel, mc, "l2_hit", ma.l2_hit, mb.l2_hit);
+  d.metric(kernel, mc, "llc_hit", ma.llc_hit, mb.llc_hit);
+  d.metric(kernel, mc, "offchip_fraction", ma.offchip_fraction,
+           mb.offchip_fraction);
+  d.metric(kernel, mc, "offchip_bytes", ma.offchip_bytes, mb.offchip_bytes);
+  d.metric(kernel, mc, "dram_bytes", ma.dram_bytes, mb.dram_bytes);
+  d.metric(kernel, mc, "mcdram_capture", ma.mcdram_capture,
+           mb.mcdram_capture);
+  d.metric(kernel, mc, "effective_bw_gbs", ma.effective_bw_gbs,
+           mb.effective_bw_gbs);
+  d.metric(kernel, mc, "latency_ns", ma.latency_ns, mb.latency_ns);
+  d.metric(kernel, mc, "dep_refs", ma.dep_refs, mb.dep_refs);
+}
+
 void diff_machine(DiffReport& d, const std::string& kernel,
                   const study::MachineResult& a,
                   const study::MachineResult& b) {
   const std::string& mc = a.cpu.short_name;
-  d.mismatch(kernel, mc, "bound", std::string(model::to_string(a.perf.bound)),
-             std::string(model::to_string(b.perf.bound)));
-  d.metric(kernel, mc, "t2sol", a.perf.seconds, b.perf.seconds);
-  d.metric(kernel, mc, "gflops", a.perf.gflops, b.perf.gflops);
-  d.metric(kernel, mc, "pct_of_peak", a.perf.pct_of_peak, b.perf.pct_of_peak);
-  d.metric(kernel, mc, "mem_throughput_gbs", a.perf.mem_throughput_gbs,
-           b.perf.mem_throughput_gbs);
-  d.metric(kernel, mc, "power_w", a.perf.power_w, b.perf.power_w);
-  d.metric(kernel, mc, "l2_hit", a.mem.l2_hit, b.mem.l2_hit);
-  d.metric(kernel, mc, "llc_hit", a.mem.llc_hit, b.mem.llc_hit);
-  d.metric(kernel, mc, "offchip_fraction", a.mem.offchip_fraction,
-           b.mem.offchip_fraction);
-  d.metric(kernel, mc, "offchip_bytes", a.mem.offchip_bytes,
-           b.mem.offchip_bytes);
-  d.metric(kernel, mc, "dram_bytes", a.mem.dram_bytes, b.mem.dram_bytes);
-  d.metric(kernel, mc, "mcdram_capture", a.mem.mcdram_capture,
-           b.mem.mcdram_capture);
-  d.metric(kernel, mc, "effective_bw_gbs", a.mem.effective_bw_gbs,
-           b.mem.effective_bw_gbs);
-  d.metric(kernel, mc, "latency_ns", a.mem.latency_ns, b.mem.latency_ns);
-  d.metric(kernel, mc, "dep_refs", a.mem.dep_refs, b.mem.dep_refs);
+  diff_perf_mem(d, kernel, mc, a.mem, b.mem, a.perf, b.perf);
   if (a.freq_sweep.size() != b.freq_sweep.size()) {
     d.mismatch(kernel, mc, "freq_sweep.points",
                std::to_string(a.freq_sweep.size()),
@@ -585,25 +710,100 @@ void diff_kernel(DiffReport& d, const study::KernelResult& a,
   }
 }
 
+/// Explore comparison: variants matched by derived name, per-kernel
+/// projections by abbreviation, plus the summary scores.
+void diff_variant(DiffReport& d, const study::VariantScore& a,
+                  const study::VariantScore& b) {
+  const std::string& vn = a.name();
+  d.metric("-", vn, "geomean_time_ratio", a.geomean_time_ratio,
+           b.geomean_time_ratio);
+  d.metric("-", vn, "geomean_energy_ratio", a.geomean_energy_ratio,
+           b.geomean_energy_ratio);
+  d.metric("-", vn, "mean_fp64_pct_peak", a.mean_fp64_pct_peak,
+           b.mean_fp64_pct_peak);
+  d.metric("-", vn, "site_pct_peak", a.site_pct_peak, b.site_pct_peak);
+  for (const auto& pa : a.kernels) {
+    const study::KernelProjection* pb = nullptr;
+    for (const auto& p : b.kernels) {
+      if (p.abbrev == pa.abbrev) {
+        pb = &p;
+        break;
+      }
+    }
+    if (pb == nullptr) {
+      d.mismatch(pa.abbrev, vn, "kernel", "present", "missing");
+      continue;
+    }
+    diff_perf_mem(d, pa.abbrev, vn, pa.mem, pb->mem, pa.perf, pb->perf);
+    d.metric(pa.abbrev, vn, "time_ratio", pa.time_ratio, pb->time_ratio);
+    d.metric(pa.abbrev, vn, "energy_ratio", pa.energy_ratio,
+             pb->energy_ratio);
+    d.metric(pa.abbrev, vn, "fp64_pct_peak", pa.fp64_pct_peak,
+             pb->fp64_pct_peak);
+  }
+  for (const auto& pb : b.kernels) {
+    bool in_a = false;
+    for (const auto& pa : a.kernels) {
+      if (pa.abbrev == pb.abbrev) {
+        in_a = true;
+        break;
+      }
+    }
+    if (!in_a) d.mismatch(pb.abbrev, vn, "kernel", "missing", "present");
+  }
+}
+
+void diff_explore(DiffReport& d, const study::ExploreResults& a,
+                  const study::ExploreResults& b) {
+  d.mismatch("-", "-", "base", a.base, b.base);
+  diff_variant(d, a.baseline, b.baseline);
+  for (const auto& va : a.variants) {
+    const auto* vb = b.find(va.name());
+    if (vb == nullptr) {
+      d.mismatch("-", va.name(), "variant", "present", "missing");
+      continue;
+    }
+    diff_variant(d, va, *vb);
+  }
+  for (const auto& vb : b.variants) {
+    if (a.find(vb.name()) == nullptr) {
+      d.mismatch("-", vb.name(), "variant", "missing", "present");
+    }
+  }
+}
+
 int cmd_diff(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   if (opt.positional.size() != 2) {
     return usage_error(err, "diff needs exactly two results files");
   }
-  const auto ra = io::study_from_json(io::load_file(opt.positional[0]));
-  const auto rb = io::study_from_json(io::load_file(opt.positional[1]));
+  const auto ja = io::load_file(opt.positional[0]);
+  const auto jb = io::load_file(opt.positional[1]);
+  const bool ea = io::is_explore_document(ja);
+  const bool eb = io::is_explore_document(jb);
+  if (ea != eb) {
+    return usage_error(
+        err, "cannot compare a study results file with an explore results "
+             "file");
+  }
 
   DiffReport d(opt.tolerance);
-  for (const auto& ka : ra.kernels) {
-    const auto* kb = rb.find(ka.info.abbrev);
-    if (kb == nullptr) {
-      d.mismatch(ka.info.abbrev, "-", "kernel", "present", "missing");
-      continue;
+  if (ea) {
+    diff_explore(d, io::explore_from_json(ja), io::explore_from_json(jb));
+  } else {
+    const auto ra = io::study_from_json(ja);
+    const auto rb = io::study_from_json(jb);
+    for (const auto& ka : ra.kernels) {
+      const auto* kb = rb.find(ka.info.abbrev);
+      if (kb == nullptr) {
+        d.mismatch(ka.info.abbrev, "-", "kernel", "present", "missing");
+        continue;
+      }
+      diff_kernel(d, ka, *kb);
     }
-    diff_kernel(d, ka, *kb);
-  }
-  for (const auto& kb : rb.kernels) {
-    if (ra.find(kb.info.abbrev) == nullptr) {
-      d.mismatch(kb.info.abbrev, "-", "kernel", "missing", "present");
+    for (const auto& kb : rb.kernels) {
+      if (ra.find(kb.info.abbrev) == nullptr) {
+        d.mismatch(kb.info.abbrev, "-", "kernel", "missing", "present");
+      }
     }
   }
 
@@ -694,6 +894,17 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         if (opt.scale_shift > 30) {
           return usage_error(err, "--scale-shift must be <= 30");
         }
+      } else if (arg == "--base") {
+        opt.base = value();
+        if (opt.base.empty()) {
+          return usage_error(err, "--base needs a machine short name");
+        }
+      } else if (arg == "--variants") {
+        auto parts = split_csv(value());
+        if (parts.empty()) {
+          return usage_error(err, arg + " needs at least one variant spec");
+        }
+        for (auto& v : parts) opt.variants.push_back(std::move(v));
       } else if (arg == "--no-sweep") {
         opt.no_sweep = true;
       } else if (arg == "--timing") {
@@ -733,6 +944,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "run") return cmd_run(opt, out, err);
     if (command == "study") return cmd_study(opt, out, err);
     if (command == "memsim") return cmd_memsim(opt, out, err);
+    if (command == "explore") return cmd_explore(opt, out, err);
     if (command == "diff") return cmd_diff(opt, out, err);
   } catch (const std::exception& e) {
     err << "fpr: error: " << e.what() << "\n";

@@ -1,6 +1,8 @@
 #include "memsim/bandwidth.hpp"
 
 #include <algorithm>
+#include <type_traits>
+#include <variant>
 
 #include "common/units.hpp"
 
@@ -9,6 +11,7 @@ namespace fpr::memsim {
 BandwidthBreakdown effective_bandwidth(const arch::CpuSpec& cpu,
                                        std::uint64_t working_set_bytes,
                                        double mcdram_capture,
+                                       double miss_streaming_fraction,
                                        const CacheModeParams& params) {
   BandwidthBreakdown out;
   out.dram_gbs = cpu.dram_bw_gbs;
@@ -17,9 +20,13 @@ BandwidthBreakdown effective_bandwidth(const arch::CpuSpec& cpu,
     return out;
   }
 
-  const double hit_eff = cpu.short_name == "KNM"
-                             ? params.hit_efficiency_knm
-                             : params.hit_efficiency_knl;
+  // The spec carries its calibrated cache-mode hit efficiency (derived
+  // variants inherit it from their base); hand-built specs without one
+  // fall back to the per-family calibration constants.
+  const double hit_eff =
+      cpu.mcdram_hit_eff > 0.0 ? cpu.mcdram_hit_eff
+      : cpu.short_name == "KNM" ? params.hit_efficiency_knm
+                                : params.hit_efficiency_knl;
   out.mcdram_gbs = cpu.mcdram_bw_gbs * hit_eff;
 
   // Capacity guard: a working set beyond the MCDRAM cannot be captured
@@ -33,15 +40,45 @@ BandwidthBreakdown effective_bandwidth(const arch::CpuSpec& cpu,
   out.mcdram_fraction = capture;
 
   // Harmonic blend: time per byte = hit share at MCDRAM speed + miss
-  // share at DRAM speed inflated by the cache-mode miss overhead.
+  // share at DRAM speed. The memory-side prefetcher rescues only the
+  // *streaming* share of the misses (served at the flat DDR rate); the
+  // unpredictable remainder pays the cache-mode miss_overhead double
+  // transfer. A blanket never-below-DRAM floor here used to cancel that
+  // penalty for every low-capture working set, contradicting the Fig. 4
+  // cache-mode ladder — a spilled gather must model *below* flat DRAM
+  // speed, while a spilled pure stream stays slightly above it.
+  const double s = std::clamp(miss_streaming_fraction, 0.0, 1.0);
   const double miss = 1.0 - capture;
+  const double miss_cost = s + (1.0 - s) * params.miss_overhead;
   const double t_per_byte = capture / out.mcdram_gbs +
-                            miss * params.miss_overhead / cpu.dram_bw_gbs;
+                            miss * miss_cost / cpu.dram_bw_gbs;
   out.effective_gbs = 1.0 / t_per_byte;
-  // Streaming misses still benefit from the memory-side prefetcher: never
-  // model below plain DRAM bandwidth.
-  out.effective_gbs = std::max(out.effective_gbs, cpu.dram_bw_gbs);
   return out;
+}
+
+double miss_streaming_fraction(const AccessPatternSpec& spec) {
+  double weighted = 0.0, total = 0.0;
+  for (const auto& c : spec.components) {
+    const double s = std::visit(
+        [](const auto& pat) -> double {
+          using T = std::decay_t<decltype(pat)>;
+          if constexpr (std::is_same_v<T, GatherPattern>) {
+            // Only the sequential driver stream is predictable; the
+            // gathered table lookups are not.
+            return pat.sequential_fraction;
+          } else if constexpr (std::is_same_v<T, ChasePattern>) {
+            return 0.0;  // each address depends on the previous load
+          } else {
+            // Stream, strided, stencil, and blocked sweeps all advance
+            // by fixed strides the prefetcher locks onto.
+            return 1.0;
+          }
+        },
+        c.pattern);
+    weighted += c.weight * s;
+    total += c.weight;
+  }
+  return total > 0.0 ? weighted / total : 1.0;
 }
 
 double effective_latency_ns(const arch::CpuSpec& cpu, double mcdram_capture) {

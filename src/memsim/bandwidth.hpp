@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "arch/cpu_spec.hpp"
+#include "memsim/trace_gen.hpp"
 
 namespace fpr::memsim {
 
@@ -31,11 +32,25 @@ struct CacheModeParams {
 
 /// Effective sustained bandwidth for a working set of the given size with
 /// the given MCDRAM capture fraction (from the hierarchy simulation; pass
-/// 1.0 when the working set fits entirely).
+/// 1.0 when the working set fits entirely). `miss_streaming_fraction` is
+/// the share of cache-mode misses the memory-side prefetcher can stream
+/// at the full DDR rate (see miss_streaming_fraction(spec)); only the
+/// remaining, unpredictable misses pay the miss_overhead double
+/// transfer. The default of 1.0 — every miss prefetched — reproduces the
+/// paper's BabelStream observation that a spilled pure stream still runs
+/// slightly *above* flat DRAM speed, while gather/chase mixes drop below
+/// it, as the Fig. 4 cache-mode ladder requires.
 BandwidthBreakdown effective_bandwidth(const arch::CpuSpec& cpu,
                                        std::uint64_t working_set_bytes,
                                        double mcdram_capture,
+                                       double miss_streaming_fraction = 1.0,
                                        const CacheModeParams& params = {});
+
+/// Weighted share of an access mix the memory-side prefetcher can
+/// predict: streams, strides, stencils, and blocked sweeps count fully;
+/// gathers count their sequential driver share; pointer chases not at
+/// all.
+double miss_streaming_fraction(const AccessPatternSpec& spec);
 
 /// Average memory latency (ns) seen past the on-chip caches.
 double effective_latency_ns(const arch::CpuSpec& cpu, double mcdram_capture);

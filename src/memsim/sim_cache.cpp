@@ -65,11 +65,13 @@ std::string SimCache::key(const arch::CpuSpec& cpu,
                           std::uint64_t seed, unsigned scale_shift) {
   std::string k;
   k.reserve(160);
-  // Machine part: exactly the fields Hierarchy's geometry derives from
-  // (not the short name — a respecced machine must not alias its old
-  // simulations).
-  k += cpu.short_name;
-  k += '|';
+  // Machine part: exactly the fields Hierarchy's geometry derives from,
+  // and nothing else. The short name is deliberately absent: a replay is
+  // a pure function of the geometry, so derived machine variants
+  // (arch::derive_variant) that leave the cache hierarchy untouched —
+  // bandwidth, TDP, or FPU respins — share their base machine's
+  // simulations, while any geometry edit (cores, capacities,
+  // associativities) changes the key and cannot alias old results.
   append_u64(k, static_cast<std::uint64_t>(cpu.cores));
   append_u64(k, static_cast<std::uint64_t>(cpu.l1_kib));
   append_u64(k, static_cast<std::uint64_t>(cpu.l1_assoc));

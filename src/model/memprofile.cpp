@@ -90,8 +90,9 @@ MemoryProfile profile_memory(const arch::CpuSpec& cpu,
     mp.mcdram_capture = 0.0;
   }
 
-  const auto bw = memsim::effective_bandwidth(cpu, w.working_set_bytes,
-                                              mp.mcdram_capture);
+  const auto bw = memsim::effective_bandwidth(
+      cpu, w.working_set_bytes, mp.mcdram_capture,
+      memsim::miss_streaming_fraction(w.access));
   mp.effective_bw_gbs = bw.effective_gbs;
   mp.latency_ns = memsim::effective_latency_ns(cpu, mp.mcdram_capture);
 

@@ -1,0 +1,164 @@
+#include "study/explore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "arch/machines.hpp"
+#include "common/units.hpp"
+#include "study/domain_util.hpp"
+
+namespace fpr::study {
+
+namespace {
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double log_sum = 0.0;
+  for (const double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Mean Fig. 7 site projection: the %-of-peak the machine would sustain
+/// over each surveyed site's annual node-hour mix, averaged across the
+/// sites (one procurement-relevant scalar per variant).
+double mean_site_pct_peak(const StudyResults& results,
+                          const std::string& machine) {
+  const auto& sites = site_utilization();
+  double sum = 0.0;
+  for (const auto& site : sites) {
+    sum += project_site_pct_peak(site, results, machine);
+  }
+  return sites.empty() ? 0.0 : sum / static_cast<double>(sites.size());
+}
+
+VariantScore score_variant(const StudyResults& results,
+                           arch::MachineVariant variant,
+                           std::size_t machine_index) {
+  VariantScore score;
+  score.variant = std::move(variant);
+  const arch::CpuSpec& cpu = score.variant.cpu;
+
+  std::vector<double> time_ratios, energy_ratios, fp64_pcts;
+  for (const auto& k : results.kernels) {
+    const MachineResult& mr = k.machines[machine_index];
+    const MachineResult& base = k.machines[0];
+    KernelProjection p;
+    p.abbrev = k.info.abbrev;
+    p.mem = mr.mem;
+    p.perf = mr.perf;
+    p.time_ratio = mr.perf.seconds / base.perf.seconds;
+    p.energy_ratio = (mr.perf.power_w * mr.perf.seconds) /
+                     (base.perf.power_w * base.perf.seconds);
+    const auto ops = k.meas.ops_on(cpu.has_mcdram());
+    if (ops.fp64 > 0) {
+      const double achieved_gflops =
+          static_cast<double>(ops.fp64) / mr.perf.seconds / kGiga;
+      p.fp64_pct_peak =
+          100.0 * achieved_gflops / cpu.peak_gflops(arch::Precision::fp64);
+      fp64_pcts.push_back(p.fp64_pct_peak);
+    }
+    time_ratios.push_back(p.time_ratio);
+    energy_ratios.push_back(p.energy_ratio);
+    score.kernels.push_back(std::move(p));
+  }
+
+  score.geomean_time_ratio = geomean(time_ratios);
+  score.geomean_energy_ratio = geomean(energy_ratios);
+  if (!fp64_pcts.empty()) {
+    double sum = 0.0;
+    for (const double v : fp64_pcts) sum += v;
+    score.mean_fp64_pct_peak = sum / static_cast<double>(fp64_pcts.size());
+  }
+  score.site_pct_peak = mean_site_pct_peak(results, cpu.short_name);
+  return score;
+}
+
+}  // namespace
+
+const VariantScore* ExploreResults::find(std::string_view name) const {
+  if (baseline.name() == name) return &baseline;
+  for (const auto& v : variants) {
+    if (v.name() == name) return &v;
+  }
+  return nullptr;
+}
+
+ExploreEngine::ExploreEngine(ExploreConfig cfg,
+                             StudyEngine::KernelFactory factory)
+    : cfg_(std::move(cfg)), factory_(std::move(factory)) {}
+
+ExploreResults ExploreEngine::run() {
+  arch::CpuSpec base;
+  bool found = false;
+  for (auto& cpu : arch::all_machines()) {
+    if (cpu.short_name == cfg_.base) {
+      base = std::move(cpu);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("unknown base machine '" + cfg_.base + "'");
+  }
+
+  const auto specs = cfg_.variants.empty()
+                         ? arch::builtin_variant_specs(base)
+                         : cfg_.variants;
+  std::set<std::string> seen;
+  std::vector<arch::MachineVariant> variants;
+  variants.reserve(specs.size());
+  for (const auto& spec : specs) {
+    if (!seen.insert(spec).second) {
+      throw std::invalid_argument("duplicate variant spec '" + spec + "'");
+    }
+    variants.push_back(arch::derive_variant(base, spec));  // re-validates
+  }
+
+  // One study over [base, variants...]: each kernel runs instrumented
+  // once and streams a (kernel, machine) stage per grid machine.
+  StudyConfig sc;
+  sc.scale = cfg_.scale;
+  sc.threads = cfg_.threads;
+  sc.freq_sweep = false;  // the Fig. 6 sweep is a per-real-machine study
+  sc.trace_refs = cfg_.trace_refs;
+  sc.kernels = cfg_.kernels;
+  sc.seed = cfg_.seed;
+  sc.jobs = cfg_.jobs;
+  sc.kernel_jobs = cfg_.kernel_jobs;
+  sc.canonical_timing = true;  // explore output is analytic; keep it stable
+  sc.machines.push_back(base);
+  for (const auto& v : variants) sc.machines.push_back(v.cpu);
+
+  StudyEngine engine(sc, factory_);
+  auto results = engine.run();
+  stats_ = engine.stats();
+
+  ExploreResults out;
+  out.base = base.short_name;
+  out.baseline =
+      score_variant(results, arch::MachineVariant{"", std::move(base)}, 0);
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    out.variants.push_back(
+        score_variant(results, std::move(variants[i]), i + 1));
+  }
+  return out;
+}
+
+ExploreConfig golden_explore_config() {
+  ExploreConfig cfg;
+  cfg.base = "KNL";
+  cfg.variants = {};  // the built-in grid — gated along with the results
+  cfg.kernels = golden_config().kernels;
+  cfg.scale = 0.2;
+  cfg.threads = 1;  // host-independent op counts, as for the study golden
+  cfg.trace_refs = 120'000;
+  cfg.seed = 42;
+  cfg.jobs = 1;
+  cfg.kernel_jobs = 1;
+  return cfg;
+}
+
+}  // namespace fpr::study

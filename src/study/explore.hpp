@@ -1,0 +1,105 @@
+// ExploreEngine: the paper's closing what-if (Sec. VII / Fig. 7) made
+// computable. The three Table I machines answer "how do these workloads
+// run on the silicon Intel shipped?"; the explorer answers "how would
+// they run on the silicon a site could have bought instead?" — a grid of
+// derived machine variants (arch::derive_variant: fewer FP64 pipes, more
+// bandwidth, more MCDRAM, more cores, a tighter TDP) swept over the
+// whole proxy suite.
+//
+// Execution reuses StudyEngine wholesale: each kernel runs instrumented
+// exactly once (cfg.kernel_jobs producers), and every (kernel, machine)
+// stage — memory simulation + model evaluation — fans out over cfg.jobs
+// workers, with the machine list being [base, variants...] instead of
+// the Table I trio. The engine-wide memsim::SimCache is geometry-keyed,
+// so every variant that leaves the cache hierarchy untouched (bandwidth,
+// TDP, FPU respins) reuses the base machine's hierarchy replays and
+// costs only model arithmetic. Results are slot-ordered and
+// byte-identical across any (jobs, kernel_jobs), as for fpr study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/variant.hpp"
+#include "model/exec_model.hpp"
+#include "model/memprofile.hpp"
+#include "study/study_engine.hpp"
+
+namespace fpr::study {
+
+/// One kernel evaluated on one variant, plus its deltas vs the base
+/// machine (ratios < 1 mean the variant is better).
+struct KernelProjection {
+  std::string abbrev;
+  model::MemoryProfile mem;
+  model::EvalResult perf;
+  double time_ratio = 1.0;     ///< seconds / base seconds
+  double energy_ratio = 1.0;   ///< (power * seconds) / base energy
+  double fp64_pct_peak = 0.0;  ///< achieved FP64 as % of the variant's peak
+};
+
+/// One variant's full scorecard over the kernel selection.
+struct VariantScore {
+  arch::MachineVariant variant;  ///< spec "" = the base machine itself
+  std::vector<KernelProjection> kernels;
+  double geomean_time_ratio = 1.0;    ///< time-to-solution vs base
+  double geomean_energy_ratio = 1.0;  ///< energy-to-solution vs base
+  double mean_fp64_pct_peak = 0.0;    ///< over kernels with FP64 work
+  double site_pct_peak = 0.0;  ///< Fig. 7 projection, averaged over sites
+
+  [[nodiscard]] const std::string& name() const {
+    return variant.cpu.short_name;
+  }
+};
+
+struct ExploreResults {
+  std::string base;              ///< base machine short name
+  VariantScore baseline;         ///< the base itself (ratios == 1)
+  std::vector<VariantScore> variants;
+
+  [[nodiscard]] const VariantScore* find(std::string_view name) const;
+};
+
+struct ExploreConfig {
+  /// Base machine short name (a Table I machine: KNL, KNM, or BDW).
+  std::string base = "KNL";
+  /// Variant specs (arch::derive_variant grammar); empty = the built-in
+  /// grid for the base (arch::builtin_variant_specs).
+  std::vector<std::string> variants;
+  /// Kernel selection / run parameters, as for StudyConfig.
+  std::vector<std::string> kernels;
+  double scale = 0.3;
+  unsigned threads = 0;
+  std::uint64_t trace_refs = model::kDefaultTraceRefs;
+  std::uint64_t seed = 42;
+  unsigned jobs = 1;
+  unsigned kernel_jobs = 1;
+};
+
+class ExploreEngine {
+ public:
+  explicit ExploreEngine(ExploreConfig cfg,
+                         StudyEngine::KernelFactory factory = nullptr);
+
+  /// Run the sweep. Call at most once per engine. Throws
+  /// std::invalid_argument for an unknown base machine, a malformed or
+  /// inconsistent variant spec, or duplicate variant specs.
+  [[nodiscard]] ExploreResults run();
+
+  /// Valid after run() returns (or throws).
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+ private:
+  ExploreConfig cfg_;
+  StudyEngine::KernelFactory factory_;
+  EngineStats stats_;
+};
+
+/// The deterministic configuration behind
+/// tests/golden/explore_snapshot.json: the study golden's six kernels at
+/// its scale/seed/trace length, base KNL, the full built-in variant grid.
+/// Regenerate the snapshot with
+/// `fpr explore --golden --out tests/golden/explore_snapshot.json`.
+[[nodiscard]] ExploreConfig golden_explore_config();
+
+}  // namespace fpr::study

@@ -55,6 +55,11 @@ struct StudyConfig {
   /// This makes serialized results byte-stable across runs and jobs
   /// counts — the mode `fpr study` and the golden snapshot use.
   bool canonical_timing = false;
+  /// Machines to evaluate each kernel on (empty = the paper's three,
+  /// arch::all_machines()). The explore engine sweeps derived variants
+  /// through here; short names must be unique since KernelResult::on
+  /// looks results up by them.
+  std::vector<arch::CpuSpec> machines;
 };
 
 struct StudyResults {

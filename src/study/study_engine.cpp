@@ -21,7 +21,8 @@ StudyEngine::StudyEngine(StudyConfig cfg, KernelFactory factory)
     : cfg_(std::move(cfg)), factory_(std::move(factory)) {}
 
 StudyResults StudyEngine::run() {
-  const auto machines = arch::all_machines();
+  const auto machines =
+      cfg_.machines.empty() ? arch::all_machines() : cfg_.machines;
   auto all = factory_ ? factory_() : kernels::make_all();
 
   // Selection in factory (paper) order; result slots are fixed up front

@@ -2,9 +2,12 @@
 // reproduce the paper's Table I numbers exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <stdexcept>
 
 #include "arch/machines.hpp"
+#include "arch/variant.hpp"
 
 namespace fpr::arch {
 namespace {
@@ -120,6 +123,99 @@ TEST(Machines, AllMachinesPaperOrder) {
   EXPECT_EQ(m[1].short_name, "KNM");
   EXPECT_EQ(m[2].short_name, "BDW");
   for (const auto& c : m) c.validate();
+}
+
+// ---------------------------------------------------------------------
+// Machine-variant derivation (the Sec. VII what-if grid).
+
+TEST(Variant, BuiltinGridValidatesOnEveryBase) {
+  for (const auto& base : all_machines()) {
+    const auto specs = builtin_variant_specs(base);
+    EXPECT_GE(specs.size(), 6u) << base.short_name;
+    std::set<std::string> names;
+    for (const auto& spec : specs) {
+      const auto v = derive_variant(base, spec);  // validates internally
+      EXPECT_EQ(v.cpu.short_name, base.short_name + "+" + spec);
+      EXPECT_TRUE(names.insert(v.cpu.short_name).second) << spec;
+    }
+  }
+}
+
+TEST(Variant, EmptySpecIsTheBaseItself) {
+  const auto v = derive_variant(knl(), "");
+  EXPECT_EQ(v.spec, "");
+  EXPECT_EQ(v.cpu.short_name, "KNL");
+  EXPECT_EQ(v.cpu.cores, knl().cores);
+}
+
+TEST(Variant, HalveFp64HalvesPipesThenWidth) {
+  // KNL: 2 pipes -> 1 pipe (32 -> 16 flop/cycle).
+  const auto once = derive_variant(knl(), "halve-fp64");
+  EXPECT_EQ(once.cpu.fp64_fpu.units, 1);
+  EXPECT_EQ(once.cpu.fp64_fpu.vector_bits, 512);
+  // KNM: already 1 pipe -> width halves (16 -> 8 flop/cycle).
+  const auto knm_once = derive_variant(knm(), "halve-fp64");
+  EXPECT_EQ(knm_once.cpu.fp64_fpu.units, 1);
+  EXPECT_EQ(knm_once.cpu.fp64_fpu.vector_bits, 256);
+  // Composition runs all the way down; at scalar it refuses.
+  EXPECT_THROW(
+      derive_variant(knm(), "halve-fp64+halve-fp64+halve-fp64+halve-fp64"),
+      std::invalid_argument);
+}
+
+TEST(Variant, DropFp64VecKeepsScalarFma) {
+  const auto v = derive_variant(knl(), "drop-fp64-vec");
+  EXPECT_EQ(v.cpu.fp64_fpu.flops_per_cycle(Precision::fp64), 2);
+  // FP32 silicon untouched; the machine still validates.
+  EXPECT_EQ(v.cpu.fp32_fpu.flops_per_cycle(Precision::fp32),
+            knl().fp32_fpu.flops_per_cycle(Precision::fp32));
+}
+
+TEST(Variant, FactorsScaleBaseValues) {
+  const auto v = derive_variant(knl(), "dram-bw=1.5+cores=1.25+tdp=0.85");
+  EXPECT_NEAR(v.cpu.dram_bw_gbs, 71.0 * 1.5, 1e-9);
+  EXPECT_EQ(v.cpu.cores, 80);  // 64 * 1.25
+  EXPECT_NEAR(v.cpu.tdp_w, 230.0 * 0.85, 1e-9);
+  const auto w = derive_variant(knl(), "widen-fp32=2+mcdram-cap=2");
+  EXPECT_EQ(w.cpu.fp32_fpu.units, 4);
+  EXPECT_NEAR(w.cpu.mcdram_gib, 32.0, 1e-9);
+  // Defaults when the factor is omitted.
+  EXPECT_NEAR(derive_variant(knl(), "mcdram-bw").cpu.mcdram_bw_gbs,
+              439.0 * 1.5, 1e-9);
+}
+
+TEST(Variant, RejectsMalformedAndInconsistentSpecs) {
+  EXPECT_THROW(derive_variant(knl(), "no-such-transform"),
+               std::invalid_argument);
+  EXPECT_THROW(derive_variant(knl(), "dram-bw=0"), std::invalid_argument);
+  EXPECT_THROW(derive_variant(knl(), "dram-bw=abc"), std::invalid_argument);
+  EXPECT_THROW(derive_variant(knl(), "dram-bw=1.5junk"),
+               std::invalid_argument);
+  EXPECT_THROW(derive_variant(knl(), "halve-fp64=2"), std::invalid_argument);
+  EXPECT_THROW(derive_variant(knl(), "widen-fp32=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(derive_variant(knl(), "dram-bw=1.5++cores=2"),
+               std::invalid_argument);
+  // MCDRAM transforms need MCDRAM.
+  EXPECT_THROW(derive_variant(bdw(), "mcdram-bw=1.5"), std::invalid_argument);
+  EXPECT_THROW(derive_variant(bdw(), "mcdram-cap=2"), std::invalid_argument);
+  // A composed machine must still validate: DDR faster than MCDRAM is
+  // rejected by CpuSpec::validate, not silently accepted.
+  EXPECT_THROW(derive_variant(knl(), "dram-bw=10"), std::invalid_argument);
+}
+
+TEST(Variant, CatalogueCoversBuiltinGrid) {
+  const auto& catalogue = transform_catalogue();
+  EXPECT_GE(catalogue.size(), 6u);
+  for (const auto& base : all_machines()) {
+    for (const auto& spec : builtin_variant_specs(base)) {
+      const std::string name = spec.substr(0, spec.find('='));
+      const bool known =
+          std::any_of(catalogue.begin(), catalogue.end(),
+                      [&](const TransformInfo& t) { return t.name == name; });
+      EXPECT_TRUE(known) << spec;
+    }
+  }
 }
 
 }  // namespace

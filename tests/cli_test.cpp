@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "io/explore_json.hpp"
 #include "io/study_json.hpp"
 #include "kernels/kernel.hpp"
 
@@ -230,6 +231,123 @@ TEST(Cli, StudyKernelJobsIsByteIdenticalToSerial) {
   EXPECT_EQ(parallel.code, 0) << parallel.err;
   EXPECT_EQ(serial.out, parallel.out);
   EXPECT_NE(parallel.err.find("kernel-jobs=4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// fpr explore
+
+/// Fast two-kernel explore invocation.
+CliOutcome run_explore(const std::vector<std::string>& extra = {}) {
+  std::vector<std::string> args = {"explore",      "--kernel",
+                                   "HPL,BABL2",    "--scale",
+                                   "0.15",         "--trace-refs",
+                                   "20000"};
+  args.insert(args.end(), extra.begin(), extra.end());
+  return run(args);
+}
+
+TEST(Cli, ExplorePrintsVariantScorecard) {
+  const auto r = run_explore({"--variants", "drop-fp64-vec,dram-bw=1.5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Variant scorecard vs KNL"), std::string::npos);
+  EXPECT_NE(r.out.find("Per-kernel projection"), std::string::npos);
+  EXPECT_NE(r.out.find("KNL+drop-fp64-vec"), std::string::npos);
+  EXPECT_NE(r.out.find("KNL+dram-bw=1.5"), std::string::npos);
+  EXPECT_NE(r.out.find("(base)"), std::string::npos);
+}
+
+TEST(Cli, ExploreDefaultGridReportsAtLeastSixVariants) {
+  for (const char* base : {"KNL", "KNM", "BDW"}) {
+    const auto r = run_explore({"--base", base, "--kernel", "BABL2"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    // Count variant rows in the scorecard: lines containing "<base>+".
+    const std::string needle = std::string(base) + "+";
+    std::size_t count = 0, pos = 0;
+    while ((pos = r.out.find(needle, pos)) != std::string::npos) {
+      ++count;
+      pos += needle.size();
+    }
+    // Each variant appears in the scorecard and once per kernel in the
+    // projection table; the scorecard alone carries >= 6.
+    EXPECT_GE(count, 12u) << base;  // 6 variants x (scorecard + 1 kernel)
+  }
+}
+
+TEST(Cli, ExploreWritesParsableResultsFile) {
+  TempFile tmp("explore");
+  const auto r = run_explore({"--variants", "tdp=0.85", "--out", tmp.path()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const auto results = io::explore_from_json(io::load_file(tmp.path()));
+  EXPECT_EQ(results.base, "KNL");
+  ASSERT_EQ(results.variants.size(), 1u);
+  EXPECT_EQ(results.variants[0].name(), "KNL+tdp=0.85");
+  ASSERT_EQ(results.baseline.kernels.size(), 2u);
+}
+
+TEST(Cli, ExploreOutDashIsByteIdenticalAcrossJobs) {
+  const auto serial =
+      run_explore({"--variants", "dram-bw=1.5", "--out", "-"});
+  const auto parallel =
+      run_explore({"--variants", "dram-bw=1.5", "--out", "-", "--jobs", "4",
+                   "--kernel-jobs", "2"});
+  EXPECT_EQ(serial.code, 0) << serial.err;
+  EXPECT_EQ(parallel.code, 0) << parallel.err;
+  ASSERT_FALSE(serial.out.empty());
+  EXPECT_EQ(serial.out.front(), '{');
+  EXPECT_EQ(serial.out, parallel.out);
+  (void)io::explore_from_json(io::parse(serial.out));  // schema-valid
+}
+
+TEST(Cli, ExploreCsvKeepsStdoutMachineParsable) {
+  const auto r = run_explore({"--variants", "tdp=0.85", "--csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.find("Variant scorecard"), std::string::npos);
+  EXPECT_NE(r.err.find("Variant scorecard"), std::string::npos);
+  EXPECT_NE(r.out.find("Variant,Spec,GeoT2sol"), std::string::npos);
+  EXPECT_NE(r.out.find("Kernel,Variant,Bound"), std::string::npos);
+}
+
+TEST(Cli, ExploreGoldenUsesSnapshotConfig) {
+  const auto r = run({"explore", "--golden"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("base KNL"), std::string::npos);
+  // The built-in KNL grid includes the MCDRAM transforms.
+  EXPECT_NE(r.out.find("KNL+mcdram-cap=2"), std::string::npos);
+}
+
+TEST(Cli, ExploreRejectsBadOptions) {
+  EXPECT_EQ(run({"explore", "--base", "EPYC"}).code, 1);  // engine throws
+  EXPECT_EQ(run({"explore", "--variants", "no-such"}).code, 1);
+  EXPECT_EQ(run({"explore", "--variants", ","}).code, 2);
+  EXPECT_EQ(run({"explore", "--base"}).code, 2);  // missing value
+  EXPECT_EQ(run({"explore", "--kernel", "NOPE"}).code, 2);
+  EXPECT_EQ(run({"explore", "stray"}).code, 2);
+}
+
+TEST(Cli, DiffComparesExploreFilesAndRejectsMixing) {
+  TempFile a("explore_a"), b("explore_b"), s("study_s");
+  ASSERT_EQ(run_explore({"--variants", "tdp=0.85", "--out", a.path()}).code,
+            0);
+  ASSERT_EQ(run_study_to(s.path()).code, 0);
+  // Identical explore files compare clean.
+  const auto same = run({"diff", a.path(), a.path()});
+  EXPECT_EQ(same.code, 0) << same.err;
+  EXPECT_NE(same.out.find("OK:"), std::string::npos);
+  // Perturb one variant metric by 50%: zero tolerance flags it (naming
+  // the variant and metric), a generous one accepts it.
+  auto results = io::explore_from_json(io::load_file(a.path()));
+  results.variants[0].geomean_time_ratio *= 1.5;
+  io::save_file(b.path(), io::to_json(results));
+  const auto strict = run({"diff", a.path(), b.path()});
+  EXPECT_EQ(strict.code, 1);
+  EXPECT_NE(strict.out.find("geomean_time_ratio"), std::string::npos);
+  EXPECT_NE(strict.out.find("KNL+tdp=0.85"), std::string::npos);
+  const auto loose = run({"diff", a.path(), b.path(), "--tolerance", "0.51"});
+  EXPECT_EQ(loose.code, 0) << loose.err;
+  // Study-vs-explore is a usage error, not a confusing schema failure.
+  const auto mixed = run({"diff", a.path(), s.path()});
+  EXPECT_EQ(mixed.code, 2);
+  EXPECT_NE(mixed.err.find("cannot compare"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "io/explore_json.hpp"
 #include "io/json.hpp"
 #include "io/study_json.hpp"
+#include "study/explore.hpp"
 #include "study/study_engine.hpp"
 
 namespace fpr::io {
@@ -348,6 +350,18 @@ TEST(GoldenSnapshot, StudyMatchesCommittedSnapshot) {
   EXPECT_TRUE(mismatches.empty())
       << "golden snapshot drifted; if intentional, regenerate with "
          "`fpr study --golden --out tests/golden/study_snapshot.json`";
+}
+
+TEST(GoldenExplore, MatchesCommittedSnapshot) {
+  const Json want = load_file(FPR_EXPLORE_GOLDEN);
+  const Json got =
+      to_json(study::ExploreEngine(study::golden_explore_config()).run());
+  std::vector<std::string> mismatches;
+  compare_json(got, want, "$", mismatches);
+  for (const auto& m : mismatches) ADD_FAILURE() << m;
+  EXPECT_TRUE(mismatches.empty())
+      << "explore snapshot drifted; if intentional, regenerate with "
+         "`fpr explore --golden --out tests/golden/explore_snapshot.json`";
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "arch/machines.hpp"
+#include "arch/variant.hpp"
 #include "common/magic_div.hpp"
 #include "common/rng.hpp"
 #include "memsim/bandwidth.hpp"
@@ -186,11 +187,86 @@ TEST(Bandwidth, FullCaptureGivesCacheModeCeiling) {
 }
 
 TEST(Bandwidth, OversizeWorkingSetDropsTowardDram) {
-  // 42 GiB of stream against 16 GiB MCDRAM: near-DRAM throughput
-  // ("slightly higher than DRAM", paper Fig. 4 BABL14).
+  // 42 GiB of stream against 16 GiB MCDRAM: the capacity guard clamps
+  // the capture to 16/42, and the prefetched misses stream at the flat
+  // DDR rate — near-DRAM throughput ("slightly higher than DRAM", paper
+  // Fig. 4 BABL14).
   const auto bw = effective_bandwidth(arch::knl(), 42ull << 30, 1.0);
+  EXPECT_NEAR(bw.mcdram_fraction, 16.0 / 42.0, 1e-9);
   EXPECT_GE(bw.effective_gbs, arch::knl().dram_bw_gbs);
   EXPECT_LT(bw.effective_gbs, 200.0);
+}
+
+TEST(Bandwidth, LowCaptureNonStreamingDropsBelowDram) {
+  // The regression behind the old never-below-DRAM floor: a spilled
+  // *gather* working set pays the cache-mode miss_overhead and must
+  // model below flat DRAM speed (the Fig. 4 cache-mode ladder), which
+  // the blanket prefetcher floor used to cancel.
+  const CacheModeParams params;
+  const auto bw =
+      effective_bandwidth(arch::knl(), 32ull << 30, 0.1, /*streaming=*/0.0);
+  EXPECT_LT(bw.effective_gbs, arch::knl().dram_bw_gbs);
+  // Capture 0 with no prefetchable misses is the worst case:
+  // dram_bw / miss_overhead exactly.
+  const auto worst =
+      effective_bandwidth(arch::knl(), 32ull << 30, 0.0, /*streaming=*/0.0);
+  EXPECT_NEAR(worst.effective_gbs,
+              arch::knl().dram_bw_gbs / params.miss_overhead, 1e-9);
+}
+
+TEST(Bandwidth, StreamingShareInterpolatesMissCost) {
+  // At capture 0 the miss cost interpolates linearly (in time-per-byte)
+  // between the prefetched flat-DDR rate (s=1) and the full
+  // read-for-ownership overhead (s=0).
+  const CacheModeParams params;
+  const auto half =
+      effective_bandwidth(arch::knl(), 32ull << 30, 0.0, /*streaming=*/0.5);
+  const double expect =
+      arch::knl().dram_bw_gbs / (0.5 + 0.5 * params.miss_overhead);
+  EXPECT_NEAR(half.effective_gbs, expect, 1e-9);
+  const auto full =
+      effective_bandwidth(arch::knl(), 32ull << 30, 0.0, /*streaming=*/1.0);
+  EXPECT_NEAR(full.effective_gbs, arch::knl().dram_bw_gbs, 1e-9);
+}
+
+TEST(Bandwidth, CaptureLimitsAndClamping) {
+  // capture=1 with a fitting set: the cache-mode ceiling (hit efficiency
+  // times flat-mode Triad); KNM selects its own, lower hit efficiency.
+  const CacheModeParams params;
+  const auto knl1 = effective_bandwidth(arch::knl(), 6ull << 30, 1.0);
+  EXPECT_NEAR(knl1.effective_gbs, 439.0 * params.hit_efficiency_knl, 1e-9);
+  EXPECT_NEAR(knl1.mcdram_fraction, 1.0, 1e-12);
+  const auto knm1 = effective_bandwidth(arch::knm(), 6ull << 30, 1.0);
+  EXPECT_NEAR(knm1.effective_gbs, 430.0 * params.hit_efficiency_knm, 1e-9);
+  // Out-of-range captures clamp instead of extrapolating.
+  const auto over = effective_bandwidth(arch::knl(), 6ull << 30, 1.5);
+  EXPECT_NEAR(over.effective_gbs, knl1.effective_gbs, 1e-12);
+  const auto under = effective_bandwidth(arch::knl(), 6ull << 30, -0.5);
+  EXPECT_NEAR(under.mcdram_fraction, 0.0, 1e-12);
+  EXPECT_NEAR(under.effective_gbs, arch::knl().dram_bw_gbs, 1e-9);
+}
+
+TEST(Bandwidth, DerivedVariantsInheritHitEfficiency) {
+  // The hit efficiency rides on the CpuSpec, not on a name match: a
+  // derived KNM variant (short name "KNM+...") must keep KNM's 75%
+  // cache-mode efficiency instead of silently picking up KNL's 86% —
+  // a time-neutral transform like tdp= must leave the bandwidth model
+  // bit-identical.
+  const auto v = arch::derive_variant(arch::knm(), "tdp=0.85");
+  const auto base = effective_bandwidth(arch::knm(), 6ull << 30, 0.7);
+  const auto var = effective_bandwidth(v.cpu, 6ull << 30, 0.7);
+  EXPECT_DOUBLE_EQ(var.effective_gbs, base.effective_gbs);
+  EXPECT_DOUBLE_EQ(var.mcdram_gbs, base.mcdram_gbs);
+}
+
+TEST(Bandwidth, NonMcdramMachinePassesThrough) {
+  // BDW has no MCDRAM: capture and streaming shares are irrelevant.
+  for (const double c : {0.0, 0.5, 1.0}) {
+    const auto bw = effective_bandwidth(arch::bdw(), 1ull << 30, c, 0.0);
+    EXPECT_DOUBLE_EQ(bw.effective_gbs, arch::bdw().dram_bw_gbs);
+    EXPECT_DOUBLE_EQ(bw.mcdram_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(bw.mcdram_gbs, 0.0);
+  }
 }
 
 TEST(Bandwidth, MonotonicInCapture) {
@@ -202,12 +278,45 @@ TEST(Bandwidth, MonotonicInCapture) {
   }
 }
 
+TEST(Bandwidth, MissStreamingFractionOfMixes) {
+  AccessPatternSpec stream = AccessPatternSpec::single(
+      StreamPattern{.bytes_per_array = 1 << 20, .arrays = 3});
+  EXPECT_DOUBLE_EQ(miss_streaming_fraction(stream), 1.0);
+  AccessPatternSpec chase = AccessPatternSpec::single(
+      ChasePattern{.footprint_bytes = 1 << 20, .node_bytes = 64});
+  EXPECT_DOUBLE_EQ(miss_streaming_fraction(chase), 0.0);
+  AccessPatternSpec gather = AccessPatternSpec::single(
+      GatherPattern{.table_bytes = 1 << 20, .elem_bytes = 8,
+                    .sequential_fraction = 0.3});
+  EXPECT_DOUBLE_EQ(miss_streaming_fraction(gather), 0.3);
+  AccessPatternSpec mix;
+  mix.components.push_back(
+      {StreamPattern{.bytes_per_array = 1 << 20}, 1.0});
+  mix.components.push_back(
+      {ChasePattern{.footprint_bytes = 1 << 20, .node_bytes = 64}, 3.0});
+  EXPECT_NEAR(miss_streaming_fraction(mix), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(miss_streaming_fraction(AccessPatternSpec{}), 1.0);
+}
+
 TEST(Latency, CacheModeMissCostsMore) {
   const double hit = effective_latency_ns(arch::knl(), 1.0);
   const double miss = effective_latency_ns(arch::knl(), 0.0);
   EXPECT_GT(miss, hit);
   EXPECT_DOUBLE_EQ(effective_latency_ns(arch::bdw(), 0.5),
                    arch::bdw().dram_latency_ns);
+}
+
+TEST(Latency, CaptureLimitsAndClamping) {
+  const auto knl = arch::knl();
+  // capture=1: pure MCDRAM latency. capture=0: tag probe + DDR access.
+  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, 1.0), knl.mcdram_latency_ns);
+  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, 0.0),
+                   knl.mcdram_latency_ns * 0.35 + knl.dram_latency_ns);
+  // Out-of-range captures clamp to the limits.
+  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, 2.0),
+                   effective_latency_ns(knl, 1.0));
+  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, -1.0),
+                   effective_latency_ns(knl, 0.0));
 }
 
 // ---------------------------------------------------------------------
@@ -458,6 +567,24 @@ TEST(SimCacheTest, KeyDiscriminatesEveryInput) {
   EXPECT_NE(base, SimCache::key(arch::knl(), spec, 1000, 43, 6));
   EXPECT_NE(base, SimCache::key(arch::knl(), spec, 1000, 42, 7));
   EXPECT_EQ(base, SimCache::key(arch::knl(), spec, 1000, 42, 6));
+}
+
+TEST(SimCacheTest, KeyIsPureGeometry) {
+  // A replay is a pure function of the cache geometry: machine variants
+  // that only respin bandwidth/TDP/FPUs share their base's simulations
+  // (the explore grid's memoization), while any geometry edit — cores,
+  // capacities — must not alias.
+  const auto spec = AccessPatternSpec::single(
+      GatherPattern{.table_bytes = 1u << 20, .elem_bytes = 8});
+  const std::string base = SimCache::key(arch::knl(), spec, 1000, 42, 6);
+  const auto bw = arch::derive_variant(arch::knl(), "dram-bw=1.5+tdp=0.85");
+  EXPECT_EQ(base, SimCache::key(bw.cpu, spec, 1000, 42, 6));
+  const auto fpu = arch::derive_variant(arch::knl(), "drop-fp64-vec");
+  EXPECT_EQ(base, SimCache::key(fpu.cpu, spec, 1000, 42, 6));
+  const auto cap = arch::derive_variant(arch::knl(), "mcdram-cap=2");
+  EXPECT_NE(base, SimCache::key(cap.cpu, spec, 1000, 42, 6));
+  const auto cores = arch::derive_variant(arch::knl(), "cores=1.25");
+  EXPECT_NE(base, SimCache::key(cores.cpu, spec, 1000, 42, 6));
 }
 
 TEST(SimCacheTest, ConcurrentLookupsAreDeterministic) {

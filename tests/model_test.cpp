@@ -1,6 +1,8 @@
 // Unit tests for the execution-time model, roofline, and memory profile.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "arch/machines.hpp"
 #include "model/exec_model.hpp"
 #include "model/memprofile.hpp"
@@ -204,6 +206,57 @@ TEST(Roofline, MeasuredBelowCeiling) {
   const auto pt = roofline_point(cpu, w, mp, ev);
   EXPECT_LE(pt.achieved_gflops, pt.attainable_gflops * 1.05);
   EXPECT_TRUE(pt.memory_side);
+}
+
+TEST(Roofline, TallyResolvedConsistentlyWithAchieved) {
+  // The regression: roofline_point used the raw BDW-side tally for the
+  // AI numerator while ev.gflops divided the machine-resolved
+  // (Phi-adjusted) tally by the modeled time — a Phi kernel with a
+  // phi_adjust multiplier paired a BDW numerator with a Phi achieved
+  // point and could land above its own roof. Both sides must use
+  // ops_on(is_phi), and the achieved point must respect the ceiling on
+  // every machine.
+  WorkloadMeasurement w = compute_heavy();
+  w.traits.phi_adjust.fp64 = 2.0;  // Laghos-style op inflation on Phi
+  for (const auto& cpu : arch::all_machines()) {
+    const auto mp = profile_memory(cpu, w, 150'000);
+    const auto ev = evaluate_at_turbo(cpu, w, mp);
+    const auto pt = roofline_point(cpu, w, mp, ev);
+    const auto ops = w.ops_on(cpu.has_mcdram());
+    // AI numerator is the resolved tally (2x fp64 on the Phis).
+    EXPECT_NEAR(pt.arithmetic_intensity,
+                static_cast<double>(ops.fp_total()) /
+                    std::max(1.0, mp.offchip_bytes),
+                1e-12)
+        << cpu.short_name;
+    EXPECT_LE(pt.achieved_gflops, pt.attainable_gflops * 1.0001)
+        << cpu.short_name;
+  }
+}
+
+TEST(Roofline, AchievedRespectsCeilingForStreamsOnPhi) {
+  // Bandwidth-bound on KNL: the roof must use the effective (cache-mode
+  // MCDRAM) bandwidth, or a captured stream would sit far above a
+  // DDR-only roof.
+  const auto w = bandwidth_heavy();
+  for (const auto& cpu : arch::all_machines()) {
+    const auto mp = profile_memory(cpu, w, 150'000);
+    const auto ev = evaluate_at_turbo(cpu, w, mp);
+    const auto pt = roofline_point(cpu, w, mp, ev);
+    EXPECT_LE(pt.achieved_gflops, pt.attainable_gflops * 1.0001)
+        << cpu.short_name;
+    EXPECT_TRUE(pt.memory_side) << cpu.short_name;
+  }
+}
+
+TEST(Roofline, AttainableHonorsBandwidthRoofParameter) {
+  const auto cpu = arch::knl();
+  // Below the ridge the roof scales linearly with the bandwidth.
+  EXPECT_NEAR(attainable(cpu, 1.0, true, 2.0 * cpu.dram_bw_gbs),
+              2.0 * attainable(cpu, 1.0, true), 1e-9);
+  // 0 falls back to the flat DRAM roof.
+  EXPECT_DOUBLE_EQ(attainable(cpu, 1.0, true, 0.0),
+                   attainable(cpu, 1.0, true));
 }
 
 TEST(ExecModel, BoundToString) {
