@@ -190,6 +190,11 @@ bool identical(const HierarchyResult& a, const HierarchyResult& b) {
 int main(int argc, char** argv) {
   std::uint64_t refs = 2'000'000;
   unsigned scale_shift = 8;
+  // --no-perf-gate: keep the three-way stats-identity check but skip the
+  // "batched must beat the seed baseline" exit condition. Sanitizer CI
+  // runs use this — instrumentation skews relative timings, and at the
+  // tiny sizes those jobs use the speedup is noise, not signal.
+  bool perf_gate = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -203,6 +208,8 @@ int main(int argc, char** argv) {
       refs = std::stoull(value());
     } else if (arg == "--scale-shift") {
       scale_shift = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--no-perf-gate") {
+      perf_gate = false;
     } else {
       std::cerr << "unknown option " << arg << "\n";
       return 2;
@@ -272,7 +279,7 @@ int main(int argc, char** argv) {
                  "identical per-level statistics\n";
     return 1;
   }
-  if (speedup < 1.0) {
+  if (perf_gate && speedup < 1.0) {
     std::cerr << "[bench] batched path slower than the seed baseline\n";
     return 1;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -99,7 +100,10 @@ constexpr const char* kUsage =
     "\n"
     "diff options:\n"
     "  --tolerance T        max relative delta accepted per metric\n"
-    "                       (default 0; exit 1 if any metric exceeds it)\n";
+    "                       (default 0; exit 1 if any metric exceeds it)\n"
+    "\n"
+    "exit codes: 0 ok; 1 runtime error or diff over tolerance; 2 usage\n"
+    "error; 3 diff input file missing/unreadable\n";
 
 struct RunOptions {
   std::vector<std::string> kernels;  // empty = all, in paper order
@@ -772,9 +776,22 @@ void diff_explore(DiffReport& d, const study::ExploreResults& a,
   }
 }
 
+// `fpr diff` exit code for a missing/unreadable input file — distinct
+// from 1 (metrics over tolerance / runtime error) and 2 (usage error)
+// so scripts can tell "results regressed" from "results never arrived".
+constexpr int kExitDiffBadInput = 3;
+
 int cmd_diff(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   if (opt.positional.size() != 2) {
     return usage_error(err, "diff needs exactly two results files");
+  }
+  for (const auto& path : opt.positional) {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) {
+      err << "fpr diff: cannot read input file '" << path
+          << "': missing or unreadable\n";
+      return kExitDiffBadInput;
+    }
   }
   const auto ja = io::load_file(opt.positional[0]);
   const auto jb = io::load_file(opt.positional[1]);

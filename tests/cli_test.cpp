@@ -431,6 +431,28 @@ TEST(Cli, StudyPropagatesSeedToKernels) {
   EXPECT_EQ(ja, jc);
 }
 
+TEST(Cli, DiffMissingInputFileIsDistinctExitCode) {
+  TempFile a("diff_a");
+  ASSERT_EQ(run_study_to(a.path()).code, 0);
+  // Missing file: exit 3 (not 1 = over-tolerance, not 2 = usage) with a
+  // clear message naming the file instead of a raw parse error.
+  const auto missing = run({"diff", a.path(), "/no/such/results.json"});
+  EXPECT_EQ(missing.code, 3) << missing.err;
+  EXPECT_NE(missing.err.find("/no/such/results.json"), std::string::npos);
+  EXPECT_NE(missing.err.find("cannot read"), std::string::npos);
+  // Both orders are covered — the first file is probed too.
+  const auto first = run({"diff", "/no/such/results.json", a.path()});
+  EXPECT_EQ(first.code, 3) << first.err;
+  // A present-but-corrupt file is still a runtime (parse) error, code 1.
+  TempFile bad("diff_corrupt");
+  {
+    std::ofstream out(bad.path());
+    out << "{not json";
+  }
+  const auto corrupt = run({"diff", a.path(), bad.path()});
+  EXPECT_EQ(corrupt.code, 1) << corrupt.err;
+}
+
 TEST(Cli, DiffIdenticalFilesIsCleanExitZero) {
   TempFile a("diff_a");
   ASSERT_EQ(run_study_to(a.path()).code, 0);
@@ -522,8 +544,8 @@ TEST(Cli, DiffUsageAndIoErrors) {
   EXPECT_EQ(run({"diff", "a", "b", "c"}).code, 2);     // three files
   EXPECT_EQ(run({"diff", "a", "b", "--tolerance", "-1"}).code, 2);
   const auto r = run({"diff", "/nonexistent/a.json", "/nonexistent/b.json"});
-  EXPECT_EQ(r.code, 1);  // runtime, not usage
-  EXPECT_NE(r.err.find("fpr: error:"), std::string::npos);
+  EXPECT_EQ(r.code, 3);  // bad input files get their own exit code
+  EXPECT_NE(r.err.find("cannot read input file"), std::string::npos);
 }
 
 }  // namespace

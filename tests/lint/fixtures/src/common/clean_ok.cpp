@@ -1,0 +1,13 @@
+// fpr-lint fixture: a clean source, including one deliberate violation
+// covered by a suppression comment. The fpr_lint_fixture_clean CTest
+// entry runs the built linter over this file with every rule enabled
+// and expects exit 0 — proving the allow() escape works end-to-end.
+namespace fpr {
+
+constexpr int kFixtureAnswer = 42;
+
+int suppressed_counter = 0;  // fpr-lint: allow(non-const-global)
+
+inline int doubled(int x) { return 2 * x; }
+
+}  // namespace fpr

@@ -1,0 +1,13 @@
+// fpr-lint fixture: a stray ThreadPool::global() call outside the
+// compatibility shim. Never compiled — the fpr_lint_fixture_* CTest
+// entry scans it with the built linter and expects [global-thread-pool].
+#include "common/thread_pool.hpp"
+
+namespace fpr {
+
+void run_on_shared_pool() {
+  auto& pool = ThreadPool::global();
+  (void)pool;
+}
+
+}  // namespace fpr

@@ -1,0 +1,10 @@
+// fpr-lint fixture: raw allocation in a kernel hot path. Never
+// compiled — the fpr_lint_fixture_* CTest entry scans it and expects
+// [naked-new].
+namespace fpr::kernels {
+
+double* allocate_in_hot_path(unsigned n) {
+  return new double[n];
+}
+
+}  // namespace fpr::kernels

@@ -1,0 +1,8 @@
+// fpr-lint fixture: a src/ header missing #pragma once (on purpose).
+// Never compiled — the fpr_lint_fixture_* CTest entry scans it and
+// expects [pragma-once].
+namespace fpr::memsim {
+
+inline int fixture_value() { return 42; }
+
+}  // namespace fpr::memsim

@@ -1,0 +1,15 @@
+// fpr-lint fixture: wall-clock and libc randomness inside a scored
+// path (src/memsim). Never compiled — the fpr_lint_fixture_* CTest
+// entry scans it and expects [nondeterministic-call].
+#include <chrono>
+#include <cstdlib>
+
+namespace fpr::memsim {
+
+unsigned nondeterministic_seed() {
+  const auto now = std::chrono::steady_clock::now();
+  (void)now;
+  return static_cast<unsigned>(rand());
+}
+
+}  // namespace fpr::memsim

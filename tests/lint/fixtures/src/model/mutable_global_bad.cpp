@@ -1,0 +1,9 @@
+// fpr-lint fixture: a mutable namespace-scope variable — exactly the
+// shared state the PR 3 de-globalization removed. Never compiled — the
+// fpr_lint_fixture_* CTest entry scans it and expects
+// [non-const-global].
+namespace fpr::model {
+
+int tuning_iterations = 0;
+
+}  // namespace fpr::model

@@ -1,0 +1,14 @@
+// fpr-lint fixture: library code reading the process-wide fallback
+// counter registry instead of counting through the bound
+// ExecutionContext. Never compiled — the fpr_lint_fixture_* CTest
+// entry scans it and expects [counters-without-context].
+#include "counters/registry.hpp"
+
+namespace fpr::study {
+
+void peek_at_process_wide_tallies() {
+  const auto snap = counters::global_snapshot();
+  (void)snap;
+}
+
+}  // namespace fpr::study

@@ -1,0 +1,285 @@
+// fpr-lint rule fixtures: every invariant rule gets at least one
+// known-bad snippet proving it fires, a scoping case proving it stays
+// inside its directory scope, and a suppression case proving the
+// `// fpr-lint: allow(rule)` escape hatch works. These are the tests
+// that keep the linter honest — the CTest gate over the real src/ tree
+// (test `fpr_lint_src`) only proves the tree is clean, not that the
+// rules still detect anything.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+using fpr::lint::Finding;
+using fpr::lint::lint_source;
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool fired(const std::vector<Finding>& findings, const std::string& rule) {
+  const auto rules = rules_of(findings);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+TEST(LintRules, CatalogueIsStableAndDescribed) {
+  const auto names = fpr::lint::rule_names();
+  const std::vector<std::string> expected = {
+      "global-thread-pool",   "nondeterministic-call",
+      "counters-without-context", "non-const-global",
+      "naked-new",            "pragma-once"};
+  EXPECT_EQ(names, expected);
+  for (const auto& n : names) {
+    EXPECT_FALSE(fpr::lint::rule_description(n).empty()) << n;
+  }
+  EXPECT_THROW((void)fpr::lint::rule_description("no-such-rule"),
+               std::invalid_argument);
+}
+
+TEST(LintRules, UnknownEnabledRuleThrows) {
+  EXPECT_THROW((void)lint_source("src/a.cpp", "int x;", {"bogus-rule"}),
+               std::invalid_argument);
+}
+
+// -- global-thread-pool ----------------------------------------------------
+
+TEST(GlobalThreadPool, FiresOnGlobalPoolUse) {
+  const auto f = lint_source("src/study/engine.cpp",
+                             "void run() {\n"
+                             "  fpr::ThreadPool::global().parallel_for(1, b);\n"
+                             "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "global-thread-pool");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(GlobalThreadPool, ShimFilesAreExempt) {
+  const std::string text = "ThreadPool& ThreadPool::global() { return p; }\n";
+  EXPECT_FALSE(fired(lint_source("src/common/thread_pool.cpp", text),
+                     "global-thread-pool"));
+  EXPECT_TRUE(fired(lint_source("src/common/execution_context.cpp", text),
+                    "global-thread-pool"));
+}
+
+TEST(GlobalThreadPool, CommentAndStringMentionsDoNotFire) {
+  const auto f = lint_source(
+      "src/study/engine.cpp",
+      "// ThreadPool::global() is forbidden here\n"
+      "const char* kDoc = \"ThreadPool::global()\";\n");
+  EXPECT_FALSE(fired(f, "global-thread-pool"));
+}
+
+// -- nondeterministic-call -------------------------------------------------
+
+TEST(NondeterministicCall, FiresOnEachBannedPattern) {
+  const char* bad[] = {
+      "int f() { return rand(); }\n",
+      "void f() { srand(42); }\n",
+      "std::random_device rd;\n",
+      "auto t0 = std::chrono::steady_clock::now();\n",
+      "auto t1 = std::chrono::system_clock::to_time_t(x);\n",
+      "long f() { return time(nullptr); }\n",
+      "void f() { WallTimer t; }\n",
+  };
+  for (const char* text : bad) {
+    EXPECT_TRUE(fired(lint_source("src/memsim/gen.cpp", text),
+                      "nondeterministic-call"))
+        << text;
+  }
+}
+
+TEST(NondeterministicCall, ScopedToDeterminismSensitiveDirs) {
+  const std::string text = "auto t = std::chrono::steady_clock::now();\n";
+  for (const char* dir : {"src/memsim/", "src/model/", "src/study/",
+                          "src/arch/"}) {
+    EXPECT_TRUE(fired(lint_source(std::string(dir) + "x.cpp", text),
+                      "nondeterministic-call"))
+        << dir;
+  }
+  // Kernel self-timing is the measured quantity; common/ holds the timer.
+  EXPECT_FALSE(fired(lint_source("src/kernels/hpl.cpp", text),
+                     "nondeterministic-call"));
+  EXPECT_FALSE(fired(lint_source("src/common/timer.hpp", text),
+                     "nondeterministic-call"));
+}
+
+TEST(NondeterministicCall, SeededHelpersAndTimeLikeNamesAreFine) {
+  const auto f = lint_source(
+      "src/study/sweep.cpp",
+      "double solve_time(int n);\n"
+      "void f() { Xoshiro256 rng(seed); double t = solve_time(3); }\n");
+  EXPECT_FALSE(fired(f, "nondeterministic-call"));
+}
+
+// -- counters-without-context ----------------------------------------------
+
+TEST(CountersWithoutContext, FiresOnLegacyRegistryAccess) {
+  const char* bad[] = {
+      "void f() { auto s = counters::global_snapshot(); }\n",
+      "void f() { counters::reset_all(); }\n",
+      "void f() { counters::local_tally().fp64 += 1; }\n",
+  };
+  for (const char* text : bad) {
+    EXPECT_TRUE(fired(lint_source("src/model/exec.cpp", text),
+                      "counters-without-context"))
+        << text;
+  }
+}
+
+TEST(CountersWithoutContext, CountersDirItselfIsExempt) {
+  EXPECT_FALSE(fired(
+      lint_source("src/counters/registry.cpp",
+                  "void reset_all() { } void f() { reset_all(); }\n"),
+      "counters-without-context"));
+}
+
+TEST(CountersWithoutContext, ContextScopedHelpersAreFine) {
+  const auto f = lint_source(
+      "src/kernels/hpl.cpp",
+      "void f() { counters::add_fp64(8); counters::add_read_bytes(64); }\n");
+  EXPECT_FALSE(fired(f, "counters-without-context"));
+}
+
+// -- non-const-global ------------------------------------------------------
+
+TEST(NonConstGlobal, FiresOnMutableNamespaceScopeVariable) {
+  const auto f = lint_source("src/arch/state.cpp",
+                             "namespace fpr {\n"
+                             "int run_counter = 0;\n"
+                             "}\n");
+  ASSERT_TRUE(fired(f, "non-const-global"));
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(NonConstGlobal, FiresInAnonymousNamespaceAndOnStatics) {
+  EXPECT_TRUE(fired(lint_source("src/io/x.cpp",
+                                "namespace { std::size_t calls = 0; }\n"),
+                    "non-const-global"));
+  EXPECT_TRUE(fired(lint_source("src/io/x.cpp", "static bool dirty;\n"),
+                    "non-const-global"));
+  EXPECT_TRUE(
+      fired(lint_source("src/io/x.cpp", "std::vector<int> g_cache{1, 2};\n"),
+            "non-const-global"));
+}
+
+TEST(NonConstGlobal, ConstexprConstThreadLocalAndLocalsAreFine) {
+  const char* good[] = {
+      "constexpr int kTableSize = 64;\n",
+      "const char* const kName = \"fpr\";\n",
+      "inline constexpr double kEps = 1e-9;\n",
+      "thread_local int scratch = 0;\n",  // documented exemption
+      "void f() { static int memo = compute(); use(memo); }\n",
+      "struct S { int mutable_member; };\n",
+      "int add(int a, int b);\n",
+      "using Row = std::vector<double>;\n",
+      "enum class Mode { kFast, kExact };\n",
+      "template <class T> struct Box { T value; };\n",
+  };
+  for (const char* text : good) {
+    EXPECT_FALSE(fired(lint_source("src/common/x.hpp", text),
+                       "non-const-global"))
+        << text;
+  }
+}
+
+// -- naked-new -------------------------------------------------------------
+
+TEST(NakedNew, FiresOnNewAndMallocInHotPaths) {
+  EXPECT_TRUE(fired(lint_source("src/kernels/hpl.cpp",
+                                "void f() { double* p = new double[64]; }\n"),
+                    "naked-new"));
+  EXPECT_TRUE(fired(
+      lint_source("src/memsim/cache.cpp",
+                  "void f() { void* p = malloc(64); use(p); }\n"),
+      "naked-new"));
+}
+
+TEST(NakedNew, ScopedToKernelsAndMemsimOnly) {
+  const std::string text = "void f() { int* p = new int; }\n";
+  EXPECT_FALSE(fired(lint_source("src/counters/registry.cpp", text),
+                     "naked-new"));
+  EXPECT_FALSE(fired(lint_source("src/io/json.cpp", text), "naked-new"));
+}
+
+TEST(NakedNew, DeletedFunctionsAndCommentsDoNotFire) {
+  const auto f = lint_source(
+      "src/kernels/hpl.cpp",
+      "// the new batched path replaces malloc(n) buffers\n"
+      "struct K { K(const K&) = delete; };\n");
+  EXPECT_FALSE(fired(f, "naked-new"));
+}
+
+// -- pragma-once -----------------------------------------------------------
+
+TEST(PragmaOnce, FiresOnHeaderWithoutGuard) {
+  const auto f = lint_source("src/common/units.hpp", "int f();\n");
+  ASSERT_TRUE(fired(f, "pragma-once"));
+  EXPECT_EQ(f[0].line, 1);
+}
+
+TEST(PragmaOnce, GuardedHeaderAndSourceFilesAreFine) {
+  EXPECT_FALSE(fired(
+      lint_source("src/common/units.hpp", "#pragma once\nint f();\n"),
+      "pragma-once"));
+  EXPECT_FALSE(fired(lint_source("src/common/units.cpp", "int f() {}\n"),
+                     "pragma-once"));
+}
+
+// -- suppression comments --------------------------------------------------
+
+TEST(Suppression, SameLineCommentSilencesOnlyThatRule) {
+  const auto f = lint_source(
+      "src/arch/state.cpp",
+      "int tuned = 0;  // fpr-lint: allow(non-const-global)\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Suppression, PreviousLineCommentSilencesNextLine) {
+  const auto f = lint_source(
+      "src/model/exec.cpp",
+      "// fpr-lint: allow(counters-without-context)\n"
+      "void f() { counters::reset_all(); }\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Suppression, DoesNotLeakPastTheNextLine) {
+  const auto f = lint_source(
+      "src/model/exec.cpp",
+      "// fpr-lint: allow(counters-without-context)\n"
+      "void ok() { counters::reset_all(); }\n"
+      "void bad() { counters::reset_all(); }\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(Suppression, WrongRuleNameDoesNotSilence) {
+  const auto f = lint_source(
+      "src/arch/state.cpp",
+      "int tuned = 0;  // fpr-lint: allow(naked-new)\n");
+  EXPECT_TRUE(fired(f, "non-const-global"));
+}
+
+// -- rule filtering --------------------------------------------------------
+
+TEST(RuleFilter, EnabledSubsetRestrictsChecking) {
+  const std::string text =
+      "int mutable_state = 0;\n"
+      "void f() { counters::reset_all(); }\n";
+  const auto all = lint_source("src/model/x.cpp", text);
+  EXPECT_TRUE(fired(all, "non-const-global"));
+  EXPECT_TRUE(fired(all, "counters-without-context"));
+  const auto only =
+      lint_source("src/model/x.cpp", text, {"counters-without-context"});
+  EXPECT_FALSE(fired(only, "non-const-global"));
+  EXPECT_TRUE(fired(only, "counters-without-context"));
+}
+
+}  // namespace

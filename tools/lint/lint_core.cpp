@@ -1,0 +1,530 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace fpr::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule catalogue
+// ---------------------------------------------------------------------------
+
+struct RuleInfo {
+  const char* name;
+  const char* desc;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"global-thread-pool",
+     "ThreadPool::global() outside the compatibility shim; run on an "
+     "ExecutionContext-owned pool so kernel runs stay isolated"},
+    {"nondeterministic-call",
+     "wall-clock/system-entropy call in a determinism-sensitive path "
+     "(src/{memsim,model,study,arch}); take seeds and timestamps as "
+     "parameters (common/rng.hpp) so results replay bit-identically"},
+    {"counters-without-context",
+     "legacy process-wide counter registry access outside src/counters; "
+     "count through an ExecutionContext sink (counters::add_* inside a "
+     "bound region) so tallies stay run-scoped"},
+    {"non-const-global",
+     "mutable namespace-scope state in src/; scope it to a run "
+     "(ExecutionContext) or make it const/constexpr"},
+    {"naked-new",
+     "naked allocation in a kernel/memsim hot path; use "
+     "AlignedBuffer/std::vector so buffers are sized once and reused"},
+    {"pragma-once",
+     "header under src/ lacks #pragma once; every header must be "
+     "self-contained and safely includable"},
+};
+
+bool known_rule(const std::string& name) {
+  for (const auto& r : kRules) {
+    if (name == r.name) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Source preparation: blank comments, string/char literals, and
+// preprocessor directives so rule patterns only ever match code; collect
+// `fpr-lint: allow(rule[,rule])` suppression comments along the way.
+// ---------------------------------------------------------------------------
+
+struct Prepared {
+  std::string code;                 // same length/line structure as input
+  std::vector<std::size_t> lines;   // offset of each line start
+  std::multimap<int, std::string> allows;  // line -> allowed rule ("*" = any)
+  bool has_pragma_once = false;
+};
+
+int line_of(const Prepared& p, std::size_t offset) {
+  auto it = std::upper_bound(p.lines.begin(), p.lines.end(), offset);
+  return static_cast<int>(it - p.lines.begin());
+}
+
+bool allowed(const Prepared& p, int line, const std::string& rule) {
+  for (auto [it, end] = p.allows.equal_range(line); it != end; ++it) {
+    if (it->second == "*" || it->second == rule) return true;
+  }
+  return false;
+}
+
+// Parse "fpr-lint: allow(a, b)" out of a comment; the suppression covers
+// the comment's own line and the line directly below it (so it can sit
+// on its own line above the flagged statement).
+void record_allows(Prepared& p, std::string_view comment, int line) {
+  static const std::regex kAllow(R"(fpr-lint:\s*allow\(([^)]*)\))");
+  std::match_results<std::string_view::const_iterator> m;
+  if (!std::regex_search(comment.begin(), comment.end(), m, kAllow)) return;
+  std::string list = m[1].str();
+  std::stringstream ss(list);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    const auto b = rule.find_first_not_of(" \t");
+    const auto e = rule.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    rule = rule.substr(b, e - b + 1);
+    p.allows.emplace(line, rule);
+    p.allows.emplace(line + 1, rule);
+  }
+}
+
+Prepared prepare(std::string_view text) {
+  Prepared p;
+  p.code.assign(text.size(), ' ');
+  p.lines.push_back(0);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') p.lines.push_back(i + 1);
+  }
+
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State st = State::kCode;
+  std::size_t token_start = 0;   // start of current comment/literal
+  std::string raw_delim;         // raw string closing delimiter ")xyz\""
+  bool line_has_code = false;    // non-ws code seen on this line yet
+  bool in_directive = false;     // inside a # logical line
+  std::size_t directive_start = 0;
+
+  auto flush_comment = [&](std::size_t end) {
+    record_allows(p, text.substr(token_start, end - token_start),
+                  line_of(p, token_start));
+  };
+  auto end_directive = [&](std::size_t end) {
+    std::string_view dir = text.substr(directive_start, end - directive_start);
+    if (dir.find("pragma") != std::string_view::npos &&
+        dir.find("once") != std::string_view::npos) {
+      p.has_pragma_once = true;
+    }
+    in_directive = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case State::kCode: {
+        if (in_directive) {
+          if (c == '\n' && (i == 0 || text[i - 1] != '\\')) {
+            end_directive(i);
+            line_has_code = false;
+          } else if (c == '/' && n == '/') {
+            end_directive(i);
+            st = State::kLine;
+            token_start = i;
+          } else if (c == '/' && n == '*') {
+            st = State::kBlock;
+            token_start = i;
+            ++i;
+          }
+          break;  // directive bytes stay blank in p.code
+        }
+        if (c == '#' && !line_has_code) {
+          in_directive = true;
+          directive_start = i;
+          break;
+        }
+        if (c == '/' && n == '/') {
+          st = State::kLine;
+          token_start = i;
+        } else if (c == '/' && n == '*') {
+          st = State::kBlock;
+          token_start = i;
+          ++i;
+        } else if (c == 'R' && n == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          std::size_t open = text.find('(', i + 2);
+          if (open != std::string_view::npos) {
+            raw_delim = ")";
+            raw_delim.append(text.substr(i + 2, open - (i + 2)));
+            raw_delim.push_back('"');
+            st = State::kRaw;
+            p.code[i] = 'R';  // keep something word-like so \b works
+            i = open;         // skip past the opening delimiter
+          } else {
+            p.code[i] = c;
+          }
+        } else if (c == '"') {
+          st = State::kString;
+          p.code[i] = '"';
+        } else if (c == '\'') {
+          st = State::kChar;
+          p.code[i] = '\'';
+        } else {
+          p.code[i] = c;
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            line_has_code = true;
+          }
+        }
+        if (c == '\n') line_has_code = false;
+        break;
+      }
+      case State::kLine:
+        if (c == '\n') {
+          flush_comment(i);
+          st = State::kCode;
+          line_has_code = false;
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && n == '/') {
+          flush_comment(i + 2);
+          st = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          p.code[i] = '"';
+          st = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          p.code[i] = '\'';
+          st = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        if (c == ')' &&
+            text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          st = State::kCode;
+        }
+        break;
+    }
+    if (c == '\n') p.code[i] = '\n';  // keep line structure when blanked
+  }
+  if (st == State::kLine) flush_comment(text.size());
+  if (in_directive) end_directive(text.size());
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+// Repo-relative tail of `path`: the substring starting at its last
+// "src/" path component, or the normalized path itself when none.
+std::string repo_rel(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  if (norm.rfind("./", 0) == 0) norm.erase(0, 2);
+  if (norm.rfind("src/", 0) == 0) return norm;
+  const auto at = norm.rfind("/src/");
+  if (at != std::string::npos) return norm.substr(at + 1);
+  return norm;
+}
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Pattern rules
+// ---------------------------------------------------------------------------
+
+void scan_pattern(const Prepared& p, const std::regex& re,
+                  const std::string& file, const char* rule,
+                  const char* message, std::vector<Finding>& out) {
+  auto begin = std::sregex_iterator(p.code.begin(), p.code.end(), re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const int line = line_of(p, static_cast<std::size_t>(it->position()));
+    if (allowed(p, line, rule)) continue;
+    out.push_back({file, line, rule, message});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// non-const-global: a small brace-tracking scanner over the blanked
+// source. Flags variable definitions/declarations at namespace scope
+// (including anonymous namespaces) that are not const/constexpr/
+// constinit. thread_local is exempt by design: per-thread slots are the
+// documented routing mechanism for context-scoped counting, not shared
+// mutable state.
+// ---------------------------------------------------------------------------
+
+bool contains_word(const std::string& s, std::string_view word) {
+  std::size_t at = 0;
+  while ((at = s.find(word.data(), at, word.size())) != std::string::npos) {
+    const bool left_ok =
+        at == 0 || (!std::isalnum(static_cast<unsigned char>(s[at - 1])) &&
+                    s[at - 1] != '_');
+    const std::size_t after = at + word.size();
+    const bool right_ok =
+        after >= s.size() ||
+        (!std::isalnum(static_cast<unsigned char>(s[after])) &&
+         s[after] != '_');
+    if (left_ok && right_ok) return true;
+    at = after;
+  }
+  return false;
+}
+
+// Does `stmt` (a namespace-scope statement with initializer stripped)
+// look like a mutable variable declaration?
+bool is_mutable_decl(const std::string& stmt) {
+  static constexpr std::string_view kSkipWords[] = {
+      "const",    "constexpr",     "constinit", "using",  "typedef",
+      "friend",   "template",      "operator",  "static_assert",
+      "namespace", "class",        "struct",    "union",  "enum",
+      "thread_local", "concept",   "requires",  "asm",    "goto",
+  };
+  for (const auto w : kSkipWords) {
+    if (contains_word(stmt, w)) return false;
+  }
+  if (stmt.find('(') != std::string::npos) return false;  // function-ish
+  // Strip any initializer: the declarator part is what must look like
+  // "type name" / "type name[N]".
+  std::string decl = stmt.substr(0, stmt.find('='));
+  static const std::regex kDecl(
+      R"(^\s*(?:static\s+|inline\s+|extern\s+)*[A-Za-z_][A-Za-z0-9_:<>,\s\*&]*[\s\*&]+[A-Za-z_][A-Za-z0-9_]*\s*(?:\[[^\]]*\]\s*)*$)");
+  return std::regex_match(decl, kDecl);
+}
+
+void scan_globals(const Prepared& p, const std::string& file,
+                  std::vector<Finding>& out) {
+  constexpr const char* kRule = "non-const-global";
+  constexpr const char* kMsg =
+      "mutable namespace-scope variable; make it const/constexpr or move "
+      "it into run-scoped state (ExecutionContext)";
+
+  struct Scope {
+    bool is_namespace = false;
+    std::string preamble;  // statement text that opened a non-ns brace
+  };
+  std::vector<Scope> scopes;
+  int other_depth = 0;   // braces opened by anything but `namespace`
+  std::string stmt;
+  std::size_t stmt_start = std::string::npos;
+
+  auto analyze = [&]() {
+    if (stmt_start != std::string::npos && is_mutable_decl(stmt)) {
+      const int line = line_of(p, stmt_start);
+      if (!allowed(p, line, kRule)) out.push_back({file, line, kRule, kMsg});
+    }
+    stmt.clear();
+    stmt_start = std::string::npos;
+  };
+
+  for (std::size_t i = 0; i < p.code.size(); ++i) {
+    const char c = p.code[i];
+    if (other_depth > 0) {
+      if (c == '{') {
+        scopes.push_back({false, {}});
+        ++other_depth;
+      } else if (c == '}') {
+        const Scope closed = scopes.back();
+        scopes.pop_back();
+        --other_depth;
+        if (other_depth == 0) {
+          // Back at namespace scope: a function body ends the statement,
+          // an initializer / class body continues it up to the `;`.
+          if (closed.preamble.find('(') != std::string::npos) {
+            stmt.clear();
+            stmt_start = std::string::npos;
+          } else {
+            stmt = closed.preamble;
+          }
+        }
+      }
+      continue;
+    }
+    switch (c) {
+      case '{': {
+        if (contains_word(stmt, "namespace")) {
+          scopes.push_back({true, {}});
+          stmt.clear();
+          stmt_start = std::string::npos;
+        } else {
+          scopes.push_back({false, stmt});
+          ++other_depth;
+        }
+        break;
+      }
+      case '}': {
+        if (!scopes.empty()) scopes.pop_back();
+        stmt.clear();
+        stmt_start = std::string::npos;
+        break;
+      }
+      case ';':
+        analyze();
+        break;
+      default:
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          if (stmt_start == std::string::npos) stmt_start = i;
+          stmt.push_back(c);
+        } else if (!stmt.empty() && stmt.back() != ' ') {
+          stmt.push_back(' ');
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> rule_names() {
+  std::vector<std::string> names;
+  for (const auto& r : kRules) names.emplace_back(r.name);
+  return names;
+}
+
+std::string rule_description(const std::string& rule) {
+  for (const auto& r : kRules) {
+    if (rule == r.name) return r.desc;
+  }
+  throw std::invalid_argument("fpr-lint: unknown rule '" + rule + "'");
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view text,
+                                 const std::vector<std::string>& enabled) {
+  for (const auto& r : enabled) {
+    if (!known_rule(r)) {
+      throw std::invalid_argument("fpr-lint: unknown rule '" + r + "'");
+    }
+  }
+  auto on = [&](const char* rule) {
+    return enabled.empty() ||
+           std::find(enabled.begin(), enabled.end(), rule) != enabled.end();
+  };
+
+  const std::string rel = repo_rel(path);
+  const Prepared p = prepare(text);
+  std::vector<Finding> out;
+
+  if (on("global-thread-pool") && starts_with(rel, "src/") &&
+      rel != "src/common/thread_pool.hpp" &&
+      rel != "src/common/thread_pool.cpp") {
+    static const std::regex re(R"(ThreadPool\s*::\s*global\b)");
+    scan_pattern(p, re, path, "global-thread-pool",
+                 rule_description("global-thread-pool").c_str(), out);
+  }
+
+  if (on("nondeterministic-call") &&
+      (starts_with(rel, "src/memsim/") || starts_with(rel, "src/model/") ||
+       starts_with(rel, "src/study/") || starts_with(rel, "src/arch/"))) {
+    static const std::regex re(
+        R"(\b(?:rand|srand|clock|time|gettimeofday)\s*\()"
+        R"(|\brandom_device\b)"
+        R"(|\b(?:steady_clock|system_clock|high_resolution_clock)\b)"
+        R"(|\bWallTimer\b)");
+    scan_pattern(p, re, path, "nondeterministic-call",
+                 rule_description("nondeterministic-call").c_str(), out);
+  }
+
+  if (on("counters-without-context") && starts_with(rel, "src/") &&
+      !starts_with(rel, "src/counters/")) {
+    static const std::regex re(
+        R"(\b(?:global_snapshot|reset_all|local_tally)\s*\()");
+    scan_pattern(p, re, path, "counters-without-context",
+                 rule_description("counters-without-context").c_str(), out);
+  }
+
+  if (on("naked-new") && (starts_with(rel, "src/kernels/") ||
+                          starts_with(rel, "src/memsim/"))) {
+    static const std::regex re(
+        R"(\bnew\b|\b(?:malloc|calloc|realloc|strdup|aligned_alloc)\s*\()");
+    scan_pattern(p, re, path, "naked-new",
+                 rule_description("naked-new").c_str(), out);
+  }
+
+  if (on("non-const-global") && starts_with(rel, "src/")) {
+    scan_globals(p, path, out);
+  }
+
+  if (on("pragma-once") && starts_with(rel, "src/") &&
+      ends_with(rel, ".hpp")) {
+    if (!p.has_pragma_once && !allowed(p, 1, "pragma-once")) {
+      out.push_back({path, 1, "pragma-once",
+                     rule_description("pragma-once")});
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::vector<std::string>& enabled) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fpr-lint: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_source(path, ss.str(), enabled);
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const std::vector<std::string>& enabled) {
+  namespace fs = std::filesystem;
+  const fs::path r(root);
+  if (fs::is_regular_file(r)) return lint_file(root, enabled);
+  if (!fs::is_directory(r)) {
+    throw std::runtime_error("fpr-lint: no such file or directory: " + root);
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(r)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+      files.push_back(entry.path().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> out;
+  for (const auto& f : files) {
+    auto fs_out = lint_file(f, enabled);
+    out.insert(out.end(), std::make_move_iterator(fs_out.begin()),
+               std::make_move_iterator(fs_out.end()));
+  }
+  return out;
+}
+
+}  // namespace fpr::lint

@@ -1,0 +1,63 @@
+// fpr-lint: the project's invariant checker. PRs 3-5 established the
+// properties the evaluation rests on — byte-identical results for any
+// (--kernel-jobs, --jobs), pure-geometry SimCache keys, context-scoped
+// counters — and this tool enforces them mechanically instead of by
+// code review. Each invariant is a named rule; findings carry the rule
+// name so a violation can be suppressed at a single site with
+//   // fpr-lint: allow(rule-name)
+// on the offending line or the line directly above it. The rule
+// catalogue and the rationale for each invariant live in
+// docs/INVARIANTS.md.
+//
+// The checker is token-level, not a full C++ parse: sources are lexed
+// just far enough to blank comments, string/char literals, and
+// preprocessor directives, then scanned with per-rule patterns and a
+// small brace-tracking declaration scanner (for the non-const-global
+// rule). That is deliberate — it keeps the tool dependency-free and
+// fast enough to run as a CTest gate on every build — and the escape
+// hatch for the rare heuristic miss is the suppression comment above.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpr::lint {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;     ///< path as given to the linter
+  int line = 0;         ///< 1-based line number
+  std::string rule;     ///< rule name (see rule_names())
+  std::string message;  ///< human-readable explanation
+};
+
+/// Names of every implemented rule, in stable (documentation) order.
+[[nodiscard]] std::vector<std::string> rule_names();
+
+/// One-line description of a rule; throws std::invalid_argument for an
+/// unknown name.
+[[nodiscard]] std::string rule_description(const std::string& rule);
+
+/// Lint a single in-memory source. `path` decides which rules apply
+/// (rules are scoped by directory, e.g. nondeterministic-call only
+/// fires under src/{memsim,model,study,arch}); it is matched on its
+/// repo-relative tail, so absolute paths work as long as they contain
+/// a "src/" component. `enabled` restricts checking to a subset of
+/// rule names (empty = all rules).
+[[nodiscard]] std::vector<Finding> lint_source(
+    const std::string& path, std::string_view text,
+    const std::vector<std::string>& enabled = {});
+
+/// Lint a file on disk (reads it, then defers to lint_source). Throws
+/// std::runtime_error if the file cannot be read.
+[[nodiscard]] std::vector<Finding> lint_file(
+    const std::string& path, const std::vector<std::string>& enabled = {});
+
+/// Recursively collect the .hpp/.cpp files under `root` (sorted, for
+/// deterministic output) and lint each. Throws std::runtime_error if
+/// `root` is neither a file nor a directory.
+[[nodiscard]] std::vector<Finding> lint_tree(
+    const std::string& root, const std::vector<std::string>& enabled = {});
+
+}  // namespace fpr::lint

@@ -1,0 +1,78 @@
+// fpr-lint executable: lint the given files/directories and print one
+// line per finding. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   fpr-lint src/                      # the CTest gate invocation
+//   fpr-lint --rules=naked-new src/kernels/hpl.cpp
+//   fpr-lint --list-rules
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+int usage(std::ostream& err) {
+  err << "usage: fpr-lint [--rules=a,b,...] [--list-rules] <file|dir>...\n"
+         "Checks fpr project invariants (see docs/INVARIANTS.md).\n"
+         "Suppress a single finding with a comment on or above the line:\n"
+         "  // fpr-lint: allow(rule-name)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::vector<std::string> rules;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& name : fpr::lint::rule_names()) {
+        std::cout << name << ": " << fpr::lint::rule_description(name)
+                  << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--rules=", 0) == 0) {
+      std::stringstream ss(arg.substr(8));
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        if (!rule.empty()) rules.push_back(rule);
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "fpr-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr);
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) return usage(std::cerr);
+
+  std::vector<fpr::lint::Finding> findings;
+  try {
+    for (const auto& path : paths) {
+      auto f = fpr::lint::lint_tree(path, rules);
+      findings.insert(findings.end(), f.begin(), f.end());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << "fpr-lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}
