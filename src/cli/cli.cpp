@@ -82,6 +82,9 @@ constexpr const char* kUsage =
     "                       as --trace-refs; default 400000)\n"
     "  --scale-shift S      capacity scale-down exponent: footprints and\n"
     "                       cache sizes shrink by 2^S (default 8, max 30)\n"
+    "  --shard-jobs J       shard each replay across up to J pool workers\n"
+    "                       (default 0 = serial; results are identical\n"
+    "                       for every J, only wall time changes)\n"
     "\n"
     "explore options (plus --kernel/--scale/--threads/--seed/--trace-refs/\n"
     "--jobs/--kernel-jobs/--csv/--out as above):\n"
@@ -118,6 +121,7 @@ struct RunOptions {
   unsigned kernel_jobs = 1;  // 0 = all hardware
   std::uint64_t trace_refs = model::kDefaultTraceRefs;
   unsigned scale_shift = model::kDefaultScaleShift;  // memsim
+  unsigned shard_jobs = 0;  // memsim: workers per replay, 0 = serial
   bool no_sweep = false;
   bool timing = false;
   bool golden = false;
@@ -139,6 +143,14 @@ unsigned parse_worker_count(const std::string& t) {
   const unsigned long v = std::stoul(t);
   if (v > 4096) throw std::invalid_argument(t);
   return static_cast<unsigned>(v);
+}
+
+/// Unsigned 64-bit option values (--seed, --trace-refs): reject
+/// '-'-prefixed text the same way parse_worker_count does instead of
+/// letting stoull silently wrap a negative into ~1.8e19.
+std::uint64_t parse_u64(const std::string& t) {
+  if (t.find('-') != std::string::npos) throw std::invalid_argument(t);
+  return std::stoull(t);
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -492,7 +504,7 @@ int cmd_memsim(const RunOptions& opt, std::ostream& out, std::ostream& err) {
 
   err << "[fpr] memsim: " << selection.size() << " kernel(s) at scale "
       << opt.scale << ", refs=" << opt.trace_refs << ", scale-shift="
-      << opt.scale_shift << "\n";
+      << opt.scale_shift << ", shard-jobs=" << opt.shard_jobs << "\n";
 
   kernels::RunConfig rc;
   rc.scale = opt.scale;
@@ -501,6 +513,14 @@ int cmd_memsim(const RunOptions& opt, std::ostream& out, std::ostream& err) {
 
   ExecutionContext ctx(opt.threads);
   memsim::SimCache* cache = ctx.sim_cache().get();
+  // Shard each replay across the context pool when asked. Results are
+  // identical for every J (property-tested), so the table below — and
+  // the SimCache entries the replays populate — never depend on it.
+  memsim::ShardPlan shards;
+  if (opt.shard_jobs > 0) {
+    shards.pool = &ctx.pool();
+    shards.jobs = opt.shard_jobs;
+  }
 
   TextTable t({"Kernel", "Machine", "L1h%", "L2h%", "Last", "LLh%",
                "Offchip%", "DRAM%"});
@@ -511,7 +531,7 @@ int cmd_memsim(const RunOptions& opt, std::ostream& out, std::ostream& err) {
       const auto sliced = model::per_core_slice(meas.access, cpu.cores);
       const auto res = memsim::simulate_pattern_cached(
           cache, cpu, sliced, opt.trace_refs, model::kProfileSeed,
-          opt.scale_shift);
+          opt.scale_shift, shards);
       const std::string last = cpu.has_mcdram() ? "MCDRAM$" : "LLC";
       t.row()
           .cell(abbrev)
@@ -893,18 +913,18 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           return usage_error(err, "--repeats must be >= 1");
         }
       } else if (arg == "--seed") {
-        opt.seed =
-            number([](const std::string& t) { return std::stoull(t); });
+        opt.seed = number(parse_u64);
       } else if (arg == "--jobs") {
         opt.jobs = number(parse_worker_count);
       } else if (arg == "--kernel-jobs") {
         opt.kernel_jobs = number(parse_worker_count);
       } else if (arg == "--trace-refs" || arg == "--refs") {
-        opt.trace_refs =
-            number([](const std::string& t) { return std::stoull(t); });
+        opt.trace_refs = number(parse_u64);
         if (opt.trace_refs == 0) {
           return usage_error(err, arg + " must be > 0");
         }
+      } else if (arg == "--shard-jobs") {
+        opt.shard_jobs = number(parse_worker_count);
       } else if (arg == "--scale-shift") {
         opt.scale_shift =
             number([](const std::string& t) { return parse_worker_count(t); });

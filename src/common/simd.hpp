@@ -1,0 +1,66 @@
+// Runtime-dispatched SIMD kernels shared by hot paths that must stay
+// bit-identical to their scalar formulations. Dispatch is a cached CPUID
+// probe, not a build-time switch: the same binary runs (and the tests
+// exercise both implementations) on any x86-64 host, and non-x86 builds
+// compile the scalar fallback only.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace fpr::simd {
+
+/// True when the running CPU supports the AVX2 kernels below. Cached in
+/// a function-local static: the probe is a CPUID leaf, constant for the
+/// process lifetime.
+inline bool avx2_available() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+#else
+  return false;
+#endif
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+/// Probe `count` contiguous 64-bit tags for `tag`: one 256-bit compare
+/// per four ways, movemask, lowest set lane. Returns the matching way
+/// index or `count` when absent. Requires count % 4 == 0 and
+/// avx2_available(); a valid tag occurs at most once per set (cache
+/// invariant), so "first match" equals the scalar loop's "last match".
+__attribute__((target("avx2"))) inline std::uint32_t probe_tags_avx2(
+    const std::uint64_t* tags, std::uint32_t count, std::uint64_t tag) {
+  const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(tag));
+  for (std::uint32_t w = 0; w < count; w += 4) {
+    const __m256i lanes =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags + w));
+    const __m256i eq = _mm256_cmpeq_epi64(lanes, needle);
+    const auto mask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+    if (mask != 0) {
+      return w + static_cast<std::uint32_t>(std::countr_zero(mask));
+    }
+  }
+  return count;
+}
+
+#else
+
+/// Non-x86 stand-in so call sites compile unchanged; never selected at
+/// runtime because avx2_available() is false on these targets.
+inline std::uint32_t probe_tags_avx2(const std::uint64_t* tags,
+                                     std::uint32_t count, std::uint64_t tag) {
+  for (std::uint32_t w = 0; w < count; ++w) {
+    if (tags[w] == tag) return w;
+  }
+  return count;
+}
+
+#endif
+
+}  // namespace fpr::simd

@@ -81,12 +81,22 @@ double miss_streaming_fraction(const AccessPatternSpec& spec) {
   return total > 0.0 ? weighted / total : 1.0;
 }
 
-double effective_latency_ns(const arch::CpuSpec& cpu, double mcdram_capture) {
+double effective_latency_ns(const arch::CpuSpec& cpu,
+                            std::uint64_t working_set_bytes,
+                            double mcdram_capture,
+                            const CacheModeParams& params) {
   if (!cpu.has_mcdram()) return cpu.dram_latency_ns;
-  const double c = std::clamp(mcdram_capture, 0.0, 1.0);
+  // Capacity guard, mirroring effective_bandwidth: capture beyond
+  // capacity/working-set is impossible whatever the simulation said.
+  const double cap_bytes = cpu.mcdram_gib * static_cast<double>(GiB);
+  double c = std::clamp(mcdram_capture, 0.0, 1.0);
+  if (static_cast<double>(working_set_bytes) > cap_bytes) {
+    c = std::min(c, cap_bytes / static_cast<double>(working_set_bytes));
+  }
   // Cache-mode miss pays the MCDRAM tag probe plus the DRAM access.
   return c * cpu.mcdram_latency_ns +
-         (1.0 - c) * (cpu.mcdram_latency_ns * 0.35 + cpu.dram_latency_ns);
+         (1.0 - c) * (cpu.mcdram_latency_ns * params.miss_latency_probe +
+                      cpu.dram_latency_ns);
 }
 
 }  // namespace fpr::memsim

@@ -28,6 +28,10 @@ struct CacheModeParams {
   double hit_efficiency_knl = 0.86;
   double hit_efficiency_knm = 0.75;
   double miss_overhead = 1.9;  ///< DRAM bytes moved per missed byte
+  /// Latency adder of a cache-mode miss: fraction of the MCDRAM access
+  /// time spent probing the memory-side tags before the DRAM fill can
+  /// even start (a miss pays the probe AND the DRAM trip).
+  double miss_latency_probe = 0.35;
 };
 
 /// Effective sustained bandwidth for a working set of the given size with
@@ -52,7 +56,15 @@ BandwidthBreakdown effective_bandwidth(const arch::CpuSpec& cpu,
 /// all.
 double miss_streaming_fraction(const AccessPatternSpec& spec);
 
-/// Average memory latency (ns) seen past the on-chip caches.
-double effective_latency_ns(const arch::CpuSpec& cpu, double mcdram_capture);
+/// Average memory latency (ns) seen past the on-chip caches. Applies
+/// the same MCDRAM capacity guard as effective_bandwidth: a working set
+/// larger than the MCDRAM caps the capture at capacity/working-set no
+/// matter what a (scaled) hierarchy simulation suggested, so a spilled
+/// working set pays DRAM-dominated latency alongside its clamped
+/// bandwidth instead of an optimistic MCDRAM-weighted figure.
+double effective_latency_ns(const arch::CpuSpec& cpu,
+                            std::uint64_t working_set_bytes,
+                            double mcdram_capture,
+                            const CacheModeParams& params = {});
 
 }  // namespace fpr::memsim

@@ -15,7 +15,21 @@
 #include "memsim/cache.hpp"
 #include "memsim/trace_gen.hpp"
 
+namespace fpr {
+class ThreadPool;  // common/thread_pool.hpp
+}  // namespace fpr
+
 namespace fpr::memsim {
+
+/// Optional sharding of a single replay across a caller-owned worker
+/// pool. Default-constructed (null pool) means serial replay. Sharding
+/// never changes results — per-level statistics are exactly equal for
+/// every worker count (property-tested against replay_scalar) — it only
+/// changes wall time, which is why SimCache keys ignore it.
+struct ShardPlan {
+  ThreadPool* pool = nullptr;  ///< null = serial replay
+  unsigned jobs = 0;  ///< walkers; 0 = one per pool worker, clamped to pool
+};
 
 struct LevelResult {
   std::string name;   ///< "L1", "L2", "LLC", "MCDRAM$"
@@ -68,6 +82,25 @@ class Hierarchy {
   HierarchyResult replay_scalar(TraceGenerator& gen, std::uint64_t refs,
                                 std::uint64_t warmup = 0);
 
+  /// Sharded replay: blocks are generated serially (trace generation
+  /// stays a strict sequence) and walked by up to `shard_jobs` workers,
+  /// each owning a contiguous disjoint slice of every level's sets, with
+  /// a barrier between levels so level L+1 reads the completed miss
+  /// stream of level L. The next block is generated concurrently with
+  /// the level walks. Per-(level, worker) statistics are summed at the
+  /// end — unsigned sums over disjoint per-set access subsequences, so
+  /// the result is exactly equal to replay()/replay_scalar() for ANY
+  /// worker count. Walkers are clamped to the pool's helper-thread count
+  /// (an in-region barrier needs every role scheduled); a pool with no
+  /// helpers degrades to the serial replay().
+  HierarchyResult replay_sharded(TraceGenerator& gen, std::uint64_t refs,
+                                 std::uint64_t warmup, ThreadPool& pool,
+                                 unsigned shard_jobs = 0);
+
+  /// Apply a tag-probe implementation choice to every level (bench and
+  /// test hook; construction default is Cache's kAuto dispatch).
+  void set_probe_mode(Cache::ProbeMode mode);
+
   /// Scale a full-size footprint to the simulated geometry.
   [[nodiscard]] std::uint64_t scaled_bytes(std::uint64_t full) const {
     const std::uint64_t s = full >> scale_shift_;
@@ -82,6 +115,10 @@ class Hierarchy {
   [[nodiscard]] const CacheConfig& level_config(std::size_t i) const {
     return levels_[i].config();
   }
+  /// Direct level access for drivers that stage the replay themselves
+  /// (bench/memsim_replay's per-stage roofline keeps its timers outside
+  /// src/memsim, where wall clocks are barred by the determinism lint).
+  [[nodiscard]] Cache& level_cache(std::size_t i) { return levels_[i]; }
 
  private:
   std::vector<Cache> levels_;
@@ -91,11 +128,14 @@ class Hierarchy {
 
 /// Convenience: replay a pattern spec with full-size footprints through a
 /// scaled hierarchy for `cpu`, auto-scaling every pattern footprint.
+/// `shards` optionally spreads the replay across a caller-owned pool;
+/// results are identical either way.
 HierarchyResult simulate_pattern(const arch::CpuSpec& cpu,
                                  const AccessPatternSpec& spec,
                                  std::uint64_t refs = 1u << 20,
                                  std::uint64_t seed = 0x0fbeef,
-                                 unsigned scale_shift = 6);
+                                 unsigned scale_shift = 6,
+                                 const ShardPlan& shards = {});
 
 /// Scale all footprint fields of a pattern spec by 2^-shift (helper used
 /// by simulate_pattern; exposed for tests).

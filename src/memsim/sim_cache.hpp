@@ -61,11 +61,15 @@ class SimCache {
 
 /// simulate_pattern with memoization: consults `cache` (when non-null)
 /// before simulating and stores what it simulates. Bit-identical to the
-/// uncached call either way.
+/// uncached call either way. `shards` only parallelizes the simulation
+/// that backs a miss — sharded results are exactly equal to serial ones
+/// (see ShardPlan), so it is deliberately NOT part of the key: cached
+/// and fresh lookups interchange freely across shard settings.
 HierarchyResult simulate_pattern_cached(SimCache* cache,
                                         const arch::CpuSpec& cpu,
                                         const AccessPatternSpec& spec,
                                         std::uint64_t refs, std::uint64_t seed,
-                                        unsigned scale_shift);
+                                        unsigned scale_shift,
+                                        const ShardPlan& shards = {});
 
 }  // namespace fpr::memsim

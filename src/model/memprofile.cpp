@@ -53,14 +53,15 @@ memsim::AccessPatternSpec per_core_slice(const memsim::AccessPatternSpec& spec,
 MemoryProfile profile_memory(const arch::CpuSpec& cpu,
                              const WorkloadMeasurement& w,
                              std::uint64_t refs, unsigned scale_shift,
-                             memsim::SimCache* cache) {
+                             memsim::SimCache* cache,
+                             const memsim::ShardPlan& shards) {
   MemoryProfile mp;
 
   // Per-core slice of the footprint, then the shared scale-down that the
   // hierarchy also applies to its capacities.
   const auto sliced = per_core_slice(w.access, cpu.cores);
   const auto res = memsim::simulate_pattern_cached(
-      cache, cpu, sliced, refs, kProfileSeed, scale_shift);
+      cache, cpu, sliced, refs, kProfileSeed, scale_shift, shards);
 
   mp.l2_hit = res.hit_rate("L2");
   mp.llc_hit = cpu.has_mcdram() ? res.hit_rate("MCDRAM$")
@@ -94,7 +95,8 @@ MemoryProfile profile_memory(const arch::CpuSpec& cpu,
       cpu, w.working_set_bytes, mp.mcdram_capture,
       memsim::miss_streaming_fraction(w.access));
   mp.effective_bw_gbs = bw.effective_gbs;
-  mp.latency_ns = memsim::effective_latency_ns(cpu, mp.mcdram_capture);
+  mp.latency_ns = memsim::effective_latency_ns(cpu, w.working_set_bytes,
+                                               mp.mcdram_capture);
 
   // Dependent (serialized) off-chip references.
   const double offchip_refs = arch_bytes / 8.0 * past_l2;

@@ -388,9 +388,27 @@ TEST(Cli, MemsimHonorsScaleShiftAndRefs) {
 TEST(Cli, MemsimRejectsBadOptions) {
   EXPECT_EQ(run({"memsim", "--kernel", "NOPE"}).code, 2);
   EXPECT_EQ(run({"memsim", "--refs", "0"}).code, 2);
+  // Negative counts must be rejected, not wrapped by unsigned parsing.
+  EXPECT_EQ(run({"memsim", "--refs", "-5"}).code, 2);
+  EXPECT_EQ(run({"memsim", "--seed", "-1"}).code, 2);
+  EXPECT_EQ(run({"memsim", "--shard-jobs", "-1"}).code, 2);
   EXPECT_EQ(run({"memsim", "--scale-shift", "31"}).code, 2);
   EXPECT_EQ(run({"memsim", "--scale-shift", "-1"}).code, 2);
   EXPECT_EQ(run({"memsim", "stray"}).code, 2);
+}
+
+TEST(Cli, MemsimShardJobsIsByteIdenticalToSerial) {
+  // Sharding is a wall-time knob only: stdout must match the serial run
+  // byte for byte.
+  const auto serial =
+      run({"memsim", "--kernel", "BABL2", "--scale", "0.15", "--refs",
+           "20000"});
+  const auto sharded =
+      run({"memsim", "--kernel", "BABL2", "--scale", "0.15", "--refs",
+           "20000", "--shard-jobs", "2", "--threads", "3"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  ASSERT_EQ(sharded.code, 0) << sharded.err;
+  EXPECT_EQ(serial.out, sharded.out);
 }
 
 TEST(Cli, StudyRejectsBadOptions) {
@@ -401,6 +419,8 @@ TEST(Cli, StudyRejectsBadOptions) {
   EXPECT_EQ(run({"study", "--kernel-jobs", "9999999"}).code, 2);
   EXPECT_EQ(run({"study", "--kernel-jobs"}).code, 2);  // missing value
   EXPECT_EQ(run({"study", "--trace-refs", "0"}).code, 2);
+  EXPECT_EQ(run({"study", "--trace-refs", "-5"}).code, 2);
+  EXPECT_EQ(run({"study", "--seed", "-1"}).code, 2);
   EXPECT_EQ(run({"study", "--out"}).code, 2);  // missing value
   EXPECT_EQ(run({"study", "stray"}).code, 2);
   // --golden is a fixed preset; flags it would silently ignore are

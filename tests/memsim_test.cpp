@@ -10,6 +10,7 @@
 #include "arch/variant.hpp"
 #include "common/magic_div.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "memsim/bandwidth.hpp"
 #include "memsim/cache.hpp"
 #include "memsim/hierarchy.hpp"
@@ -299,24 +300,57 @@ TEST(Bandwidth, MissStreamingFractionOfMixes) {
 }
 
 TEST(Latency, CacheModeMissCostsMore) {
-  const double hit = effective_latency_ns(arch::knl(), 1.0);
-  const double miss = effective_latency_ns(arch::knl(), 0.0);
+  // 2 GiB working set: fits the 16 GiB MCDRAM, capacity guard inactive.
+  const std::uint64_t ws = 2ull << 30;
+  const double hit = effective_latency_ns(arch::knl(), ws, 1.0);
+  const double miss = effective_latency_ns(arch::knl(), ws, 0.0);
   EXPECT_GT(miss, hit);
-  EXPECT_DOUBLE_EQ(effective_latency_ns(arch::bdw(), 0.5),
+  EXPECT_DOUBLE_EQ(effective_latency_ns(arch::bdw(), ws, 0.5),
                    arch::bdw().dram_latency_ns);
 }
 
 TEST(Latency, CaptureLimitsAndClamping) {
   const auto knl = arch::knl();
+  const std::uint64_t ws = 2ull << 30;  // fits MCDRAM
+  const double probe = CacheModeParams{}.miss_latency_probe;
   // capture=1: pure MCDRAM latency. capture=0: tag probe + DDR access.
-  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, 1.0), knl.mcdram_latency_ns);
-  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, 0.0),
-                   knl.mcdram_latency_ns * 0.35 + knl.dram_latency_ns);
+  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, ws, 1.0),
+                   knl.mcdram_latency_ns);
+  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, ws, 0.0),
+                   knl.mcdram_latency_ns * probe + knl.dram_latency_ns);
   // Out-of-range captures clamp to the limits.
-  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, 2.0),
-                   effective_latency_ns(knl, 1.0));
-  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, -1.0),
-                   effective_latency_ns(knl, 0.0));
+  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, ws, 2.0),
+                   effective_latency_ns(knl, ws, 1.0));
+  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, ws, -1.0),
+                   effective_latency_ns(knl, ws, 0.0));
+}
+
+TEST(Latency, OverCapacityWorkingSetRaisesLatency) {
+  // Regression (PR 7): effective_latency_ns used to skip the MCDRAM
+  // capacity guard effective_bandwidth applies, so a working set that
+  // spilled the MCDRAM got clamped bandwidth but full-capture latency.
+  const auto knl = arch::knl();
+  const std::uint64_t fits = 2ull << 30;
+  const std::uint64_t spills = 42ull << 30;  // 42 GiB vs 16 GiB MCDRAM
+  const double l_fits = effective_latency_ns(knl, fits, 1.0);
+  const double l_spills = effective_latency_ns(knl, spills, 1.0);
+  EXPECT_DOUBLE_EQ(l_fits, knl.mcdram_latency_ns);
+  EXPECT_GT(l_spills, l_fits);
+  // The clamp is exactly effective_bandwidth's: capture <= capacity/ws.
+  const double c =
+      knl.mcdram_gib * 1024.0 * 1024.0 * 1024.0 / static_cast<double>(spills);
+  const double probe = CacheModeParams{}.miss_latency_probe;
+  EXPECT_DOUBLE_EQ(l_spills,
+                   c * knl.mcdram_latency_ns +
+                       (1.0 - c) * (knl.mcdram_latency_ns * probe +
+                                    knl.dram_latency_ns));
+  // A working set at exactly capacity is not penalized.
+  const auto cap = static_cast<std::uint64_t>(knl.mcdram_gib) << 30;
+  EXPECT_DOUBLE_EQ(effective_latency_ns(knl, cap, 1.0),
+                   knl.mcdram_latency_ns);
+  // No MCDRAM: DRAM latency regardless of working set.
+  EXPECT_DOUBLE_EQ(effective_latency_ns(arch::bdw(), spills, 1.0),
+                   arch::bdw().dram_latency_ns);
 }
 
 // ---------------------------------------------------------------------
@@ -505,6 +539,217 @@ TEST(Cache, AccessManyMatchesScalarAccess) {
       EXPECT_EQ(a.stats().hits, b.stats().hits);
       EXPECT_EQ(a.stats().misses, b.stats().misses);
       EXPECT_EQ(a.stats().writebacks, b.stats().writebacks);
+    }
+  }
+}
+
+TEST(Cache, SimdProbeMatchesScalarProbe) {
+  // The AVX2 tag probe must be bit-identical to the scalar loop: same
+  // surviving miss stream, same stats, over every packed-order geometry
+  // (all specialized associativities are multiples of four).
+  if (!Cache::simd_supported()) {
+    GTEST_SKIP() << "AVX2 unavailable on this CPU";
+  }
+  const CacheConfig configs[] = {
+      {.size_bytes = 4096, .line_bytes = 64, .associativity = 4},
+      {.size_bytes = 8192, .line_bytes = 64, .associativity = 8},
+      {.size_bytes = 3 * 64 * 8, .line_bytes = 64, .associativity = 8},
+      {.size_bytes = 5 * 64 * 12, .line_bytes = 64, .associativity = 12},
+      {.size_bytes = 64 * 16, .line_bytes = 64, .associativity = 16},
+  };
+  for (const auto& cfg : configs) {
+    Cache scalar_c(cfg);
+    scalar_c.set_probe_mode(Cache::ProbeMode::kScalar);
+    Cache simd_c(cfg);
+    simd_c.set_probe_mode(Cache::ProbeMode::kSimd);
+    Xoshiro256 rng(29);
+    std::vector<MemRef> refs(2048);
+    for (int round = 0; round < 8; ++round) {
+      for (auto& r : refs) {
+        r.addr = rng.below(1u << 16);
+        r.write = rng.uniform() < 0.3;
+      }
+      std::vector<MemRef> a = refs;
+      std::vector<MemRef> b = refs;
+      const std::size_t live_a = scalar_c.access_many(a.data(), a.size());
+      const std::size_t live_b = simd_c.access_many(b.data(), b.size());
+      ASSERT_EQ(live_a, live_b);
+      for (std::size_t i = 0; i < live_a; ++i) {
+        ASSERT_EQ(a[i].addr, b[i].addr);
+        ASSERT_EQ(a[i].write, b[i].write);
+      }
+      EXPECT_EQ(scalar_c.stats().hits, simd_c.stats().hits);
+      EXPECT_EQ(scalar_c.stats().misses, simd_c.stats().misses);
+      EXPECT_EQ(scalar_c.stats().writebacks, simd_c.stats().writebacks);
+    }
+  }
+}
+
+TEST(Cache, ProbeModeRespectsCpuSupport) {
+  Cache c({.size_bytes = 8192, .line_bytes = 64, .associativity = 8});
+  EXPECT_NO_THROW(c.set_probe_mode(Cache::ProbeMode::kScalar));
+  EXPECT_NO_THROW(c.set_probe_mode(Cache::ProbeMode::kAuto));
+  if (Cache::simd_supported()) {
+    EXPECT_NO_THROW(c.set_probe_mode(Cache::ProbeMode::kSimd));
+  } else {
+    EXPECT_THROW(c.set_probe_mode(Cache::ProbeMode::kSimd),
+                 std::runtime_error);
+  }
+}
+
+TEST(Cache, AccessPartitionMatchesScalarAccess) {
+  // Partitioned walks (the sharded-replay primitive) against the scalar
+  // oracle: pow2 and non-pow2 set counts, a generic (unspecialized)
+  // associativity, the stamp path, and a single-set geometry, each split
+  // across 1/2/3 disjoint set ranges with per-range stats and stamps.
+  const CacheConfig configs[] = {
+      {.size_bytes = 8192, .line_bytes = 64, .associativity = 8},
+      {.size_bytes = 3 * 64 * 8, .line_bytes = 64, .associativity = 8},
+      {.size_bytes = 5 * 64 * 6, .line_bytes = 64, .associativity = 6},
+      {.size_bytes = 24 * 64 * 24, .line_bytes = 64, .associativity = 24},
+      {.size_bytes = 64 * 16, .line_bytes = 64, .associativity = 16},
+  };
+  const Cache::ProbeMode modes[] = {Cache::ProbeMode::kScalar,
+                                    Cache::ProbeMode::kAuto};
+  for (const auto probe : modes) {
+    for (const auto& cfg : configs) {
+      const std::uint64_t sets = cfg.size_bytes / cfg.line_bytes /
+                                 cfg.associativity;
+      for (unsigned parts = 1; parts <= 3; ++parts) {
+        Cache a(cfg);
+        Cache b(cfg);
+        b.set_probe_mode(probe);
+        std::vector<CacheStats> part_stats(parts);
+        std::vector<std::uint64_t> part_stamps(parts, 0);
+        Xoshiro256 rng(11);
+        std::vector<MemRef> refs(1536);
+        std::vector<std::uint8_t> live(refs.size());
+        for (int round = 0; round < 6; ++round) {
+          for (auto& r : refs) {
+            r.addr = rng.below(1u << 16);
+            r.write = rng.uniform() < 0.3;
+          }
+          std::vector<MemRef> scalar_misses;
+          for (const auto& r : refs) {
+            if (!a.access(r.addr, r.write)) scalar_misses.push_back(r);
+          }
+          std::fill(live.begin(), live.end(), std::uint8_t{1});
+          for (unsigned w = 0; w < parts; ++w) {
+            b.access_partition(refs.data(), refs.size(), live.data(),
+                               sets * w / parts, sets * (w + 1) / parts,
+                               part_stats[w], part_stamps[w]);
+          }
+          std::vector<MemRef> survivors;
+          for (std::size_t i = 0; i < refs.size(); ++i) {
+            if (live[i] != 0) survivors.push_back(refs[i]);
+          }
+          ASSERT_EQ(survivors.size(), scalar_misses.size());
+          for (std::size_t i = 0; i < survivors.size(); ++i) {
+            ASSERT_EQ(survivors[i].addr, scalar_misses[i].addr);
+            ASSERT_EQ(survivors[i].write, scalar_misses[i].write);
+          }
+          CacheStats total;
+          for (const auto& s : part_stats) {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.writebacks += s.writebacks;
+          }
+          EXPECT_EQ(total.hits, a.stats().hits);
+          EXPECT_EQ(total.misses, a.stats().misses);
+          EXPECT_EQ(total.writebacks, a.stats().writebacks);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sharded replay: exact stat identity with the scalar oracle for every
+// worker count (disjoint set ownership + order-independent merges).
+
+class ShardedIdentity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardedIdentity, ShardedReplayMatchesScalarOracle) {
+  const auto spec = all_pattern_specs()[GetParam()];
+  // KNL exercises the MCDRAM level and pow2 set counts; BDW the
+  // non-pow2 LLC set count and its 20-way stamp-LRU partition path.
+  const arch::CpuSpec cpus[] = {arch::knl(), arch::bdw()};
+  constexpr std::uint64_t kRefs = 30'000;
+  constexpr std::uint64_t kWarmup = 10'000;
+  for (const auto& cpu : cpus) {
+    Hierarchy hs(cpu, 6);
+    TraceGenerator gs(spec, 3);
+    const auto oracle = hs.replay_scalar(gs, kRefs, kWarmup);
+    const unsigned job_counts[] = {1, 2, 8};
+    for (const unsigned jobs : job_counts) {
+      ThreadPool pool(jobs + 1);  // jobs walkers + the generator role
+      Hierarchy h(cpu, 6);
+      TraceGenerator g(spec, 3);
+      const auto r = h.replay_sharded(g, kRefs, kWarmup, pool, jobs);
+      ASSERT_EQ(r.levels.size(), oracle.levels.size());
+      for (std::size_t i = 0; i < r.levels.size(); ++i) {
+        EXPECT_EQ(r.levels[i].name, oracle.levels[i].name);
+        EXPECT_EQ(r.levels[i].stats.hits, oracle.levels[i].stats.hits)
+            << cpu.short_name << " jobs=" << jobs << " level "
+            << r.levels[i].name;
+        EXPECT_EQ(r.levels[i].stats.misses, oracle.levels[i].stats.misses)
+            << cpu.short_name << " jobs=" << jobs << " level "
+            << r.levels[i].name;
+        EXPECT_EQ(r.levels[i].stats.writebacks,
+                  oracle.levels[i].stats.writebacks)
+            << cpu.short_name << " jobs=" << jobs << " level "
+            << r.levels[i].name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, ShardedIdentity,
+                         ::testing::Range<std::size_t>(0, 8));
+
+TEST(Hierarchy, ShardedReplayFallsBackSeriallyWithoutWorkers) {
+  // A pool with no helper threads cannot overlap the generator with a
+  // walker; replay_sharded must fall back to the batched serial path
+  // (and still match the oracle).
+  ThreadPool pool(1);
+  const auto spec = all_pattern_specs()[0];
+  Hierarchy hs(arch::knl(), 6);
+  TraceGenerator gs(spec, 3);
+  const auto oracle = hs.replay_scalar(gs, 20'000, 5'000);
+  Hierarchy h(arch::knl(), 6);
+  TraceGenerator g(spec, 3);
+  const auto r = h.replay_sharded(g, 20'000, 5'000, pool, 4);
+  ASSERT_EQ(r.levels.size(), oracle.levels.size());
+  for (std::size_t i = 0; i < r.levels.size(); ++i) {
+    EXPECT_EQ(r.levels[i].stats.hits, oracle.levels[i].stats.hits);
+    EXPECT_EQ(r.levels[i].stats.misses, oracle.levels[i].stats.misses);
+    EXPECT_EQ(r.levels[i].stats.writebacks,
+              oracle.levels[i].stats.writebacks);
+  }
+}
+
+TEST_P(BatchedIdentity, SimdReplayMatchesScalarProbeReplay) {
+  // Hierarchy-level SIMD/scalar identity across every machine.
+  if (!Cache::simd_supported()) {
+    GTEST_SKIP() << "AVX2 unavailable on this CPU";
+  }
+  const auto spec = all_pattern_specs()[GetParam()];
+  for (const auto& cpu : arch::all_machines()) {
+    Hierarchy hv(cpu, 6);
+    hv.set_probe_mode(Cache::ProbeMode::kSimd);
+    Hierarchy hs(cpu, 6);
+    hs.set_probe_mode(Cache::ProbeMode::kScalar);
+    TraceGenerator gv(spec, 3);
+    TraceGenerator gs(spec, 3);
+    const auto rv = hv.replay(gv, 40'000, 10'000);
+    const auto rs = hs.replay(gs, 40'000, 10'000);
+    ASSERT_EQ(rv.levels.size(), rs.levels.size());
+    for (std::size_t i = 0; i < rv.levels.size(); ++i) {
+      EXPECT_EQ(rv.levels[i].stats.hits, rs.levels[i].stats.hits)
+          << cpu.short_name << " level " << rv.levels[i].name;
+      EXPECT_EQ(rv.levels[i].stats.misses, rs.levels[i].stats.misses);
+      EXPECT_EQ(rv.levels[i].stats.writebacks,
+                rs.levels[i].stats.writebacks);
     }
   }
 }
