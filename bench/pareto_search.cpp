@@ -1,0 +1,220 @@
+// Pareto search throughput bench: quantifies the tentpole claim that
+// the incremental VariantEvaluator makes design-space search cheap.
+//
+// Naive baseline: score each candidate the way the pre-evaluator
+// ExploreEngine did — a fresh engine per variant, so every candidate
+// re-pays the full instrumented measurement pass. Incremental path: one
+// ParetoEngine run, which measures once and prices every candidate from
+// the cached profiles. The bench reports candidates/sec for both, the
+// dedup and profile-memo hit rates, and the speedup; it exits nonzero
+// if the frontier JSON is not byte-identical across the --jobs ladder
+// (always), or if the speedup falls under 10x (unless --no-perf-gate,
+// for sanitizer builds where wall-clock ratios are meaningless).
+//
+//   ./build/pareto_search [--kernels A,B,...] [--scale S]
+//                         [--trace-refs N] [--rounds R] [--jobs 1,2,8]
+//                         [--naive-sample N] [--no-perf-gate]
+//                         [--json FILE]
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/variant.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "io/json.hpp"
+#include "io/pareto_json.hpp"
+#include "study/explore.hpp"
+#include "study/pareto.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fpr;
+  using bench::parse_ladder;
+  using bench::split_csv;
+
+  study::ParetoConfig cfg;
+  cfg.base = "KNL";
+  cfg.scale = 0.2;
+  cfg.threads = 1;
+  cfg.trace_refs = 200'000;
+  cfg.rounds = 3;
+  cfg.kernels = {"AMG", "HPL", "XSBn", "BABL2", "MxIO", "NGSA"};
+  std::vector<unsigned> jobs_ladder = {1, 2, 8};
+  std::size_t naive_sample = 6;
+  bool perf_gate = true;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "option " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--kernels") {
+      cfg.kernels = split_csv(value());
+    } else if (arg == "--scale") {
+      cfg.scale = std::stod(value());
+    } else if (arg == "--trace-refs") {
+      cfg.trace_refs = std::stoull(value());
+    } else if (arg == "--rounds") {
+      cfg.rounds = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--jobs") {
+      jobs_ladder = parse_ladder(value());
+    } else if (arg == "--naive-sample") {
+      naive_sample = std::stoull(value());
+    } else if (arg == "--no-perf-gate") {
+      perf_gate = false;
+    } else if (arg == "--json") {
+      json_path = value();
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  if (jobs_ladder.empty() || jobs_ladder.front() != 1) {
+    jobs_ladder.insert(jobs_ladder.begin(), 1);
+  }
+
+  bench::header("Pareto search throughput (incremental evaluator)",
+                "the Sec. VII design-space trade, searched under budget");
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "host: " << hw << " hardware thread(s); "
+            << cfg.kernels.size() << " kernel(s), base " << cfg.base
+            << ", trace_refs=" << cfg.trace_refs << ", rounds=" << cfg.rounds
+            << "\n\n";
+
+  // Naive baseline: one ExploreEngine (hence one full measurement pass)
+  // per candidate, the pre-incremental cost model.
+  arch::CpuSpec base;
+  for (auto& cpu : arch::all_machines()) {
+    if (cpu.short_name == cfg.base) base = std::move(cpu);
+  }
+  std::vector<std::string> sample = arch::builtin_variant_specs(base);
+  if (sample.size() > naive_sample) sample.resize(naive_sample);
+  std::cerr << "[bench] naive baseline: " << sample.size()
+            << " x ExploreEngine (re-measures every time)...\n";
+  WallTimer naive_timer;
+  for (const auto& spec : sample) {
+    study::ExploreConfig ncfg;
+    ncfg.base = cfg.base;
+    ncfg.variants = {spec};
+    ncfg.kernels = cfg.kernels;
+    ncfg.scale = cfg.scale;
+    ncfg.threads = cfg.threads;
+    ncfg.trace_refs = cfg.trace_refs;
+    ncfg.seed = cfg.seed;
+    ncfg.jobs = 1;
+    study::ExploreEngine engine(ncfg);
+    (void)engine.run();
+  }
+  const double naive_seconds = naive_timer.seconds();
+  const double naive_cps =
+      naive_seconds > 0 ? static_cast<double>(sample.size()) / naive_seconds
+                        : 0.0;
+
+  // Incremental path: the full Pareto search at each jobs count. Every
+  // run includes its own one-time measurement phase, so candidates/sec
+  // is the honest end-to-end figure, not an evaluate()-only best case.
+  TextTable table(
+      {"Jobs", "Wall[s]", "Cand/s", "Evald", "Dedup%", "Memo%", "Identical"});
+  std::string base_json;
+  bool identical = true;
+  double cps_j1 = 0.0;
+  double best_cps = 0.0;
+  study::ParetoStats stats_j1;
+  for (const unsigned jobs : jobs_ladder) {
+    auto run_cfg = cfg;
+    run_cfg.jobs = jobs;
+    WallTimer timer;
+    study::ParetoEngine engine(run_cfg);
+    const auto results = engine.run();
+    const double seconds = timer.seconds();
+    const std::string json = io::dump(io::to_json(results));
+    const auto& st = engine.stats();
+    const double cps =
+        seconds > 0 ? static_cast<double>(st.evaluated) / seconds : 0.0;
+    if (jobs == 1 && base_json.empty()) {
+      base_json = json;
+      cps_j1 = cps;
+      stats_j1 = st;
+    }
+    best_cps = std::max(best_cps, cps);
+    const double memo_total = static_cast<double>(st.evaluator.memo_hits +
+                                                  st.evaluator.memo_misses);
+    table.row()
+        .integer(jobs)
+        .num(seconds, 3)
+        .num(cps, 1)
+        .integer(static_cast<long long>(st.evaluated))
+        .num(st.generated > 0 ? 100.0 * static_cast<double>(st.deduped) /
+                                    static_cast<double>(st.generated)
+                              : 0.0,
+             1)
+        .num(memo_total > 0 ? 100.0 *
+                                  static_cast<double>(st.evaluator.memo_hits) /
+                                  memo_total
+                            : 0.0,
+             1)
+        .cell(json == base_json ? "yes" : "NO")
+        .done();
+    if (json != base_json) {
+      identical = false;
+      std::cerr << "[bench] DETERMINISM VIOLATION at jobs=" << jobs << "\n";
+    }
+  }
+  table.print(std::cout);
+
+  const double speedup = naive_cps > 0 ? cps_j1 / naive_cps : 0.0;
+  const double memo_total = static_cast<double>(
+      stats_j1.evaluator.memo_hits + stats_j1.evaluator.memo_misses);
+  std::cout << "\nnaive (ExploreEngine-per-variant): " << sample.size()
+            << " candidate(s) in " << naive_seconds << " s = " << naive_cps
+            << " cand/s\nincremental (jobs=1):              "
+            << stats_j1.evaluated << " candidate(s) at " << cps_j1
+            << " cand/s\nspeedup: " << speedup << "x (gate: >= 10x"
+            << (perf_gate ? "" : ", DISABLED") << ")\n";
+
+  if (!json_path.empty()) {
+    io::Json doc =
+        io::Json::object()
+            .set("format", std::string("fpr-bench-pareto"))
+            .set("version", std::int64_t{1})
+            .set("naive_candidates_per_sec", naive_cps)
+            .set("candidates_per_sec_jobs1", cps_j1)
+            .set("candidates_per_sec_best", best_cps)
+            .set("speedup_vs_naive", speedup)
+            .set("generated", static_cast<std::int64_t>(stats_j1.generated))
+            .set("evaluated", static_cast<std::int64_t>(stats_j1.evaluated))
+            .set("dedup_rate",
+                 stats_j1.generated > 0
+                     ? static_cast<double>(stats_j1.deduped) /
+                           static_cast<double>(stats_j1.generated)
+                     : 0.0)
+            .set("memo_hit_rate",
+                 memo_total > 0 ? static_cast<double>(
+                                      stats_j1.evaluator.memo_hits) /
+                                      memo_total
+                                : 0.0)
+            .set("frontier_identical_across_jobs", identical);
+    std::ofstream out(json_path);
+    out << io::dump(doc) << "\n";
+    if (!out) {
+      std::cerr << "[bench] failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cerr << "[bench] wrote " << json_path << "\n";
+  }
+
+  if (!identical) return 1;
+  if (perf_gate && speedup < 10.0) {
+    std::cerr << "[bench] PERF GATE FAILED: " << speedup << "x < 10x\n";
+    return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace fpr::arch {
@@ -141,6 +142,140 @@ std::vector<std::string> builtin_variant_specs(const CpuSpec& base) {
     specs.insert(specs.begin() + 4, {"mcdram-bw=1.5", "mcdram-cap=2"});
   }
   return specs;
+}
+
+namespace {
+
+// Field encoding mirrors memsim::SimCache keys: %.17g doubles (shortest
+// exact decimal for any double) and decimal integers, ';'-separated.
+void append_f(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+  out += ';';
+}
+
+void append_i(std::string& out, long long v) {
+  out += std::to_string(v);
+  out += ';';
+}
+
+}  // namespace
+
+std::string memory_model_digest(const CpuSpec& cpu) {
+  std::string key = "mem|";
+  append_i(key, cpu.cores);
+  append_i(key, cpu.l1_kib);
+  append_i(key, cpu.l1_assoc);
+  append_i(key, cpu.l2_kib_per_core);
+  append_i(key, cpu.l2_assoc);
+  append_i(key, cpu.llc_assoc);
+  append_f(key, cpu.llc_mib);
+  append_f(key, cpu.dram_gib);
+  append_f(key, cpu.dram_bw_gbs);
+  append_f(key, cpu.mcdram_gib);
+  append_f(key, cpu.mcdram_bw_gbs);
+  append_f(key, cpu.mcdram_hit_eff);
+  append_i(key, cpu.mcdram_cache_mode ? 1 : 0);
+  append_f(key, cpu.dram_latency_ns);
+  append_f(key, cpu.mcdram_latency_ns);
+  append_f(key, cpu.mlp);
+  // The bandwidth model falls back to a per-family hit efficiency keyed
+  // off short_name == "KNM" only when no calibrated mcdram_hit_eff is
+  // carried; fold in the *resolved* family bit for exactly that case so
+  // the digest stays label-free everywhere else (and order-invariant
+  // for composed variants, whose short names differ by spec order).
+  if (cpu.has_mcdram() && cpu.mcdram_hit_eff <= 0.0) {
+    append_i(key, cpu.short_name == "KNM" ? 1 : 0);
+  }
+  key += '|';
+  return key;
+}
+
+std::string canonical_cpu_digest(const CpuSpec& cpu) {
+  std::string key = "cpu|";
+  append_i(key, cpu.smt);
+  append_i(key, cpu.sockets);
+  append_f(key, cpu.base_ghz);
+  append_f(key, cpu.turbo_ghz);
+  append_f(key, cpu.peak_ref_ghz);
+  for (const double f : cpu.freq_states_ghz) append_f(key, f);
+  append_f(key, cpu.tdp_w);
+  append_i(key, cpu.fp64_fpu.units);
+  append_i(key, cpu.fp64_fpu.vector_bits);
+  append_i(key, cpu.fp64_fpu.pump);
+  append_i(key, cpu.fp32_fpu.units);
+  append_i(key, cpu.fp32_fpu.vector_bits);
+  append_i(key, cpu.fp32_fpu.pump);
+  append_f(key, cpu.fpu_issue_eff);
+  append_f(key, cpu.fp32_generic_eff);
+  append_i(key, cpu.int_ops_per_cycle);
+  key += memory_model_digest(cpu);
+  return key;
+}
+
+std::string compose_specs(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "+" + b;
+}
+
+std::size_t spec_transform_count(const std::string& spec) {
+  if (spec.empty()) return 0;
+  return static_cast<std::size_t>(
+             std::count(spec.begin(), spec.end(), '+')) +
+         1;
+}
+
+namespace {
+
+// Area coefficients, in SIMD-pipe equivalents (one 512-bit single-pump
+// FMA pipe = 1.0). First-order by design: only ratios against the base
+// machine are consumed, so the constants just have to order resources
+// sensibly (a core is a few pipes, HBM stacks and memory PHYs are not
+// free, capacity scales linearly).
+constexpr double kCoreFixedArea = 2.0;      // front-end + L1 + AGU
+constexpr double kL2AreaPerKiB = 1.0 / 512; // 512 KiB of L2 ~ one pipe
+constexpr double kLlcAreaPerMiB = 0.25;
+constexpr double kMcdramAreaPerGiB = 0.75;  // on-package stacks + I/O
+constexpr double kPhyAreaPerGBs = 0.05;     // memory controller + PHY
+
+double fpu_area(const FpuConfig& f) {
+  // Double pumping reuses the datapath; it buys throughput for roughly
+  // half the area of doubling the pipe count.
+  return static_cast<double>(f.units) *
+         (static_cast<double>(f.vector_bits) / 512.0) *
+         (1.0 + 0.5 * static_cast<double>(f.pump - 1));
+}
+
+}  // namespace
+
+double die_area_units(const CpuSpec& cpu) {
+  const double core_area = kCoreFixedArea +
+                           static_cast<double>(cpu.l2_kib_per_core) *
+                               kL2AreaPerKiB +
+                           fpu_area(cpu.fp64_fpu) + fpu_area(cpu.fp32_fpu);
+  const double uncore = cpu.llc_mib * kLlcAreaPerMiB +
+                        cpu.mcdram_gib * kMcdramAreaPerGiB +
+                        (cpu.dram_bw_gbs + cpu.mcdram_bw_gbs) * kPhyAreaPerGBs;
+  return static_cast<double>(cpu.cores) * core_area + uncore;
+}
+
+ResourceBudget variant_budget(const CpuSpec& variant, const CpuSpec& base) {
+  if (base.tdp_w <= 0.0) {
+    throw std::invalid_argument("variant_budget: base machine '" +
+                                base.short_name + "' has no TDP");
+  }
+  ResourceBudget b;
+  b.area_ratio = die_area_units(variant) / die_area_units(base);
+  b.tdp_ratio = variant.tdp_w / base.tdp_w;
+  return b;
+}
+
+bool within_budget(const ResourceBudget& b, const BudgetLimits& limits) {
+  constexpr double kSlack = 1e-9;
+  return b.area_ratio <= limits.max_area_ratio * (1.0 + kSlack) &&
+         b.tdp_ratio <= limits.max_tdp_ratio * (1.0 + kSlack);
 }
 
 }  // namespace fpr::arch

@@ -61,4 +61,66 @@ MachineVariant derive_variant(const CpuSpec& base, const std::string& spec);
 /// base; MCDRAM transforms are included only for MCDRAM machines).
 std::vector<std::string> builtin_variant_specs(const CpuSpec& base);
 
+// ---------------------------------------------------------------------
+// Canonical machine form + transform composition + budget accounting:
+// the substrate of the incremental design-space search (study::
+// VariantEvaluator / study::ParetoEngine).
+
+/// Canonical digest of the *resolved* machine: a textual encoding of
+/// every CpuSpec field the evaluation pipeline reads (geometry,
+/// bandwidths, latencies, FPU configuration, frequencies, TDP), with
+/// the identity labels (name, short_name, model, isa) deliberately
+/// excluded. Two variants have equal digests iff they are the same
+/// machine — so order-equivalent compositions ("cores=2+tdp=0.9" vs
+/// "tdp=0.9+cores=2") and factor respellings ("dram-bw=1.5" vs
+/// "dram-bw=1.50") canonicalize identically and can be deduplicated
+/// without ever comparing spec strings.
+std::string canonical_cpu_digest(const CpuSpec& cpu);
+
+/// Digest of only the fields the memory-profile path reads (the
+/// per-core slicing, the hierarchy-replay geometry, and the bandwidth/
+/// latency models — see model::profile_memory). Variants that differ
+/// purely in compute or power resources (FPU respins, TDP envelopes)
+/// share this digest with their base, which is what lets a model-level
+/// memo reuse whole MemoryProfiles across such variants.
+std::string memory_model_digest(const CpuSpec& cpu);
+
+/// Compose two transform specs into one ("a", "b" -> "a+b"; an empty
+/// side drops out, so compose_specs("", "tdp=0.9") == "tdp=0.9").
+std::string compose_specs(const std::string& a, const std::string& b);
+
+/// Number of transforms in a composed spec (0 for the empty spec).
+std::size_t spec_transform_count(const std::string& spec);
+
+/// First-order silicon/power budget of a variant relative to its base.
+/// Area is a planar estimate in SIMD-pipe equivalents (one 512-bit FMA
+/// pipe = 1.0): cores pay a fixed front-end/L1 allowance plus their L2
+/// slice and FPU pipes, the uncore pays for LLC/MCDRAM capacity and
+/// memory-PHY bandwidth. The absolute constants are calibration-free —
+/// only the *ratio* against the base machine is meaningful, which is
+/// all a constant-budget procurement search needs.
+struct ResourceBudget {
+  double area_ratio = 1.0;  ///< estimated die area vs the base machine
+  double tdp_ratio = 1.0;   ///< TDP envelope vs the base machine
+};
+
+/// Constraint box for a design-space search. The defaults encode the
+/// paper's procurement premise: a candidate may be no bigger and no
+/// hotter than the silicon the site actually bought.
+struct BudgetLimits {
+  double max_area_ratio = 1.0;
+  double max_tdp_ratio = 1.0;
+};
+
+/// Estimated area in SIMD-pipe equivalents (the unit ResourceBudget's
+/// area ratios are built from; exposed for tests).
+double die_area_units(const CpuSpec& cpu);
+
+ResourceBudget variant_budget(const CpuSpec& variant, const CpuSpec& base);
+
+/// True when `b` fits `limits` (with a 1e-9 relative slack so a
+/// transform that exactly preserves a resource never flickers out on
+/// rounding).
+bool within_budget(const ResourceBudget& b, const BudgetLimits& limits);
+
 }  // namespace fpr::arch

@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "counters/op_tally.hpp"
 #include "io/explore_json.hpp"
+#include "io/pareto_json.hpp"
 #include "io/study_json.hpp"
 #include "kernels/kernel.hpp"
 #include "model/exec_model.hpp"
@@ -24,6 +25,7 @@
 #include "model/roofline.hpp"
 #include "study/explore.hpp"
 #include "study/figures.hpp"
+#include "study/pareto.hpp"
 #include "study/methodology.hpp"
 #include "study/study_engine.hpp"
 
@@ -44,8 +46,12 @@ constexpr const char* kUsage =
     "  explore [options]    what-if machine exploration: sweep the kernels\n"
     "                       across derived variants of a base machine and\n"
     "                       score each variant against it (Sec. VII)\n"
-    "  diff A.json B.json   compare two results files (study or explore)\n"
-    "                       metric by metric (relative deltas)\n"
+    "  pareto [options]     multi-objective design-space search: compose\n"
+    "                       transforms under an area/TDP budget and keep\n"
+    "                       the non-dominated frontier over time, energy,\n"
+    "                       and the site projection (Sec. VII extended)\n"
+    "  diff A.json B.json   compare two results files (study, explore, or\n"
+    "                       pareto) metric by metric (relative deltas)\n"
     "  help                 show this message\n"
     "\n"
     "run/study options:\n"
@@ -101,6 +107,22 @@ constexpr const char* kUsage =
     "                       (overrides base/variants/kernel/scale/threads/\n"
     "                       seed/trace-refs)\n"
     "\n"
+    "pareto options (plus --base/--kernel/--scale/--threads/--seed/\n"
+    "--trace-refs/--jobs/--kernel-jobs/--csv/--out as above):\n"
+    "  --budget-area F      max die-area ratio vs the base, > 0 (default\n"
+    "                       1.0: no bigger than the purchased silicon)\n"
+    "  --budget-tdp F       max TDP ratio vs the base, > 0 (default 1.0)\n"
+    "  --objectives A[,B..] frontier objectives, a subset of time, energy,\n"
+    "                       site (default time,energy,site)\n"
+    "  --rounds R           expansion rounds after the seed batch\n"
+    "                       (default 3)\n"
+    "  --explorers E        seeded random walks proposed per round\n"
+    "                       (default 16)\n"
+    "  --max-depth D        max transforms composed per candidate, >= 1\n"
+    "                       (default 4)\n"
+    "  --search-seed N      explorer-walk seed (default 2019; results are\n"
+    "                       identical for every --jobs at a fixed seed)\n"
+    "\n"
     "diff options:\n"
     "  --tolerance T        max relative delta accepted per metric\n"
     "                       (default 0; exit 1 if any metric exceeds it)\n"
@@ -129,6 +151,14 @@ struct RunOptions {
   // explore
   std::string base = "KNL";
   std::vector<std::string> variants;  // empty = built-in grid
+  // pareto
+  double budget_area = 1.0;
+  double budget_tdp = 1.0;
+  std::vector<std::string> objectives;  // empty = time,energy,site
+  unsigned rounds = 3;
+  unsigned explorers = 16;
+  unsigned max_depth = 4;
+  std::uint64_t search_seed = 2019;
   // diff
   double tolerance = 0.0;
   // non-option arguments (diff's two file paths)
@@ -492,6 +522,88 @@ int cmd_explore(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `fpr pareto`: the design-space search — compose derive_variant
+/// transforms under the area/TDP budget box and print the non-dominated
+/// frontier over the selected objectives.
+int cmd_pareto(const RunOptions& opt, std::ostream& out, std::ostream& err) {
+  study::ParetoConfig cfg;
+  std::string bad;
+  cfg.kernels = resolve_kernels(opt.kernels, bad);
+  if (!bad.empty()) return usage_error(err, bad);
+  cfg.base = opt.base;
+  cfg.scale = opt.scale;
+  cfg.threads = opt.threads;
+  cfg.seed = opt.seed;
+  cfg.trace_refs = opt.trace_refs;
+  cfg.jobs = opt.jobs;
+  cfg.kernel_jobs = opt.kernel_jobs;
+  cfg.search_seed = opt.search_seed;
+  cfg.rounds = opt.rounds;
+  cfg.explorers = opt.explorers;
+  cfg.max_depth = opt.max_depth;
+  cfg.budget.max_area_ratio = opt.budget_area;
+  cfg.budget.max_tdp_ratio = opt.budget_tdp;
+  if (!opt.objectives.empty()) {
+    cfg.objectives.clear();
+    for (const auto& name : opt.objectives) {
+      try {
+        cfg.objectives.push_back(study::objective_from_string(name));
+      } catch (const std::invalid_argument& e) {
+        return usage_error(err, e.what());
+      }
+    }
+  }
+
+  err << "[fpr] pareto: base " << cfg.base << ", budget area<="
+      << cfg.budget.max_area_ratio << " tdp<=" << cfg.budget.max_tdp_ratio
+      << ", " << cfg.rounds << " round(s), depth<=" << cfg.max_depth
+      << ", jobs=" << cfg.jobs << ", kernel-jobs=" << cfg.kernel_jobs << "\n";
+
+  study::ParetoEngine engine(cfg);
+  const auto results = engine.run();
+  const auto& st = engine.stats();
+  const bool json_to_stdout = opt.out == "-";
+  std::ostream& heading = (opt.csv || json_to_stdout) ? err : out;
+
+  if (!json_to_stdout) {
+    TextTable frontier({"Variant", "Spec", "GeoT2sol", "GeoEnergy",
+                        "Site%peak", "Area", "TDP"});
+    for (const auto& p : results.frontier) {
+      frontier.row()
+          .cell(p.name())
+          .cell(p.spec().empty() ? "(base)" : p.spec())
+          .num(p.score.geomean_time_ratio, 3)
+          .num(p.score.geomean_energy_ratio, 3)
+          .num(p.score.site_pct_peak, 2)
+          .num(p.budget.area_ratio, 3)
+          .num(p.budget.tdp_ratio, 3)
+          .done();
+    }
+    heading << "Pareto frontier vs " << results.base
+            << " (ratios < 1 = candidate better; " << results.frontier.size()
+            << " point(s)):\n";
+    print(frontier, opt.csv, out);
+  }
+
+  err << "[fpr] pareto search: " << st.generated << " candidate(s), "
+      << st.evaluated << " evaluated, " << st.deduped << " duplicate(s), "
+      << st.over_budget << " over budget, " << st.invalid << " invalid, "
+      << st.rounds << " round(s); " << st.evaluator.memo_hits
+      << " profile-memo hit(s), " << st.evaluator.memo_misses
+      << " miss(es)\n";
+
+  if (!opt.out.empty()) {
+    const auto doc = io::to_json(results);
+    if (json_to_stdout) {
+      out << io::dump(doc) << "\n";
+    } else {
+      io::save_file(opt.out, doc);
+      err << "[fpr] wrote " << opt.out << "\n";
+    }
+  }
+  return 0;
+}
+
 /// `fpr memsim`: expose the hierarchy simulation directly — one row per
 /// (kernel, machine) with the per-level hit rates the model consumes
 /// (the stand-in for the paper's PCM counter readings). Kernels run once
@@ -777,6 +889,51 @@ void diff_variant(DiffReport& d, const study::VariantScore& a,
   }
 }
 
+void diff_pareto(DiffReport& d, const study::ParetoResults& a,
+                 const study::ParetoResults& b) {
+  d.mismatch("-", "-", "base", a.base, b.base);
+  d.metric("-", "-", "budget.max_area_ratio", a.budget.max_area_ratio,
+           b.budget.max_area_ratio);
+  d.metric("-", "-", "budget.max_tdp_ratio", a.budget.max_tdp_ratio,
+           b.budget.max_tdp_ratio);
+  auto join = [](const std::vector<study::Objective>& objs) {
+    std::string s;
+    for (const auto o : objs) {
+      if (!s.empty()) s += ',';
+      s += std::string(study::to_string(o));
+    }
+    return s;
+  };
+  d.mismatch("-", "-", "objectives", join(a.objectives), join(b.objectives));
+  for (const auto& pa : a.frontier) {
+    const auto* pb = b.find(pa.name());
+    if (pb == nullptr) {
+      d.mismatch("-", pa.name(), "frontier_point", "present", "missing");
+      continue;
+    }
+    d.metric("-", pa.name(), "area_ratio", pa.budget.area_ratio,
+             pb->budget.area_ratio);
+    d.metric("-", pa.name(), "tdp_ratio", pa.budget.tdp_ratio,
+             pb->budget.tdp_ratio);
+    if (pa.objectives.size() != pb->objectives.size()) {
+      d.mismatch("-", pa.name(), "objectives.points",
+                 std::to_string(pa.objectives.size()),
+                 std::to_string(pb->objectives.size()));
+    } else {
+      for (std::size_t i = 0; i < pa.objectives.size(); ++i) {
+        d.metric("-", pa.name(), "objective[" + std::to_string(i) + "]",
+                 pa.objectives[i], pb->objectives[i]);
+      }
+    }
+    diff_variant(d, pa.score, pb->score);
+  }
+  for (const auto& pb : b.frontier) {
+    if (a.find(pb.name()) == nullptr) {
+      d.mismatch("-", pb.name(), "frontier_point", "missing", "present");
+    }
+  }
+}
+
 void diff_explore(DiffReport& d, const study::ExploreResults& a,
                   const study::ExploreResults& b) {
   d.mismatch("-", "-", "base", a.base, b.base);
@@ -817,14 +974,18 @@ int cmd_diff(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   const auto jb = io::load_file(opt.positional[1]);
   const bool ea = io::is_explore_document(ja);
   const bool eb = io::is_explore_document(jb);
-  if (ea != eb) {
+  const bool pa = io::is_pareto_document(ja);
+  const bool pb = io::is_pareto_document(jb);
+  if (ea != eb || pa != pb) {
     return usage_error(
-        err, "cannot compare a study results file with an explore results "
-             "file");
+        err, "cannot compare results files of different formats (study, "
+             "explore, pareto)");
   }
 
   DiffReport d(opt.tolerance);
-  if (ea) {
+  if (pa) {
+    diff_pareto(d, io::pareto_from_json(ja), io::pareto_from_json(jb));
+  } else if (ea) {
     diff_explore(d, io::explore_from_json(ja), io::explore_from_json(jb));
   } else {
     const auto ra = io::study_from_json(ja);
@@ -942,6 +1103,30 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           return usage_error(err, arg + " needs at least one variant spec");
         }
         for (auto& v : parts) opt.variants.push_back(std::move(v));
+      } else if (arg == "--budget-area" || arg == "--budget-tdp") {
+        const double f =
+            number([](const std::string& t) { return std::stod(t); });
+        if (!std::isfinite(f) || f <= 0.0) {
+          return usage_error(err, arg + " must be finite and > 0");
+        }
+        (arg == "--budget-area" ? opt.budget_area : opt.budget_tdp) = f;
+      } else if (arg == "--objectives") {
+        auto parts = split_csv(value());
+        if (parts.empty()) {
+          return usage_error(err, arg + " needs at least one objective");
+        }
+        for (auto& o : parts) opt.objectives.push_back(std::move(o));
+      } else if (arg == "--rounds") {
+        opt.rounds = number(parse_worker_count);
+      } else if (arg == "--explorers") {
+        opt.explorers = number(parse_worker_count);
+      } else if (arg == "--max-depth") {
+        opt.max_depth = number(parse_worker_count);
+        if (opt.max_depth == 0) {
+          return usage_error(err, "--max-depth must be >= 1");
+        }
+      } else if (arg == "--search-seed") {
+        opt.search_seed = number(parse_u64);
       } else if (arg == "--no-sweep") {
         opt.no_sweep = true;
       } else if (arg == "--timing") {
@@ -982,6 +1167,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "study") return cmd_study(opt, out, err);
     if (command == "memsim") return cmd_memsim(opt, out, err);
     if (command == "explore") return cmd_explore(opt, out, err);
+    if (command == "pareto") return cmd_pareto(opt, out, err);
     if (command == "diff") return cmd_diff(opt, out, err);
   } catch (const std::exception& e) {
     err << "fpr: error: " << e.what() << "\n";

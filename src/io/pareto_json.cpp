@@ -1,0 +1,103 @@
+#include "io/pareto_json.hpp"
+
+#include <utility>
+
+#include "arch/machines.hpp"
+#include "io/explore_json.hpp"
+
+namespace fpr::io {
+
+Json to_json(const study::ParetoPoint& p) {
+  Json objectives = Json::array();
+  for (const double o : p.objectives) objectives.push(Json(o));
+  return Json::object()
+      .set("area_ratio", p.budget.area_ratio)
+      .set("tdp_ratio", p.budget.tdp_ratio)
+      .set("objectives", std::move(objectives))
+      .set("score", to_json(p.score));
+}
+
+study::ParetoPoint pareto_point_from_json(const Json& j,
+                                          const arch::CpuSpec& base) {
+  study::ParetoPoint p;
+  p.budget.area_ratio = j.at("area_ratio").as_number();
+  p.budget.tdp_ratio = j.at("tdp_ratio").as_number();
+  for (const auto& o : j.at("objectives").as_array()) {
+    p.objectives.push_back(o.as_number());
+  }
+  p.score = variant_score_from_json(j.at("score"), base);
+  return p;
+}
+
+Json to_json(const study::ParetoResults& r) {
+  Json objectives = Json::array();
+  for (const auto o : r.objectives) {
+    objectives.push(Json(std::string(study::to_string(o))));
+  }
+  Json frontier = Json::array();
+  for (const auto& p : r.frontier) frontier.push(to_json(p));
+  return Json::object()
+      .set("format", std::string(kParetoFormat))
+      .set("version", kParetoVersion)
+      .set("base", r.base)
+      .set("budget", Json::object()
+                         .set("max_area_ratio", r.budget.max_area_ratio)
+                         .set("max_tdp_ratio", r.budget.max_tdp_ratio))
+      .set("objectives", std::move(objectives))
+      .set("frontier", std::move(frontier));
+}
+
+study::ParetoResults pareto_from_json(const Json& j) {
+  const std::string& format = j.at("format").as_string();
+  if (format != kParetoFormat) {
+    throw JsonError("not a pareto results file (format '" + format + "')");
+  }
+  const auto version = static_cast<std::int64_t>(j.at("version").as_number());
+  if (version > kParetoVersion) {
+    throw JsonError("pareto file version " + std::to_string(version) +
+                    " is newer than supported version " +
+                    std::to_string(kParetoVersion));
+  }
+  study::ParetoResults r;
+  r.base = j.at("base").as_string();
+  arch::CpuSpec base;
+  bool found = false;
+  for (auto& cpu : arch::all_machines()) {
+    if (cpu.short_name == r.base) {
+      base = std::move(cpu);
+      found = true;
+      break;
+    }
+  }
+  if (!found) throw JsonError("unknown base machine '" + r.base + "'");
+  const Json& budget = j.at("budget");
+  r.budget.max_area_ratio = budget.at("max_area_ratio").as_number();
+  r.budget.max_tdp_ratio = budget.at("max_tdp_ratio").as_number();
+  for (const auto& o : j.at("objectives").as_array()) {
+    try {
+      r.objectives.push_back(study::objective_from_string(o.as_string()));
+    } catch (const std::invalid_argument& e) {
+      throw JsonError(e.what());
+    }
+  }
+  for (const auto& p : j.at("frontier").as_array()) {
+    auto point = pareto_point_from_json(p, base);
+    if (point.objectives.size() != r.objectives.size()) {
+      throw JsonError("frontier point '" + point.name() + "' carries " +
+                      std::to_string(point.objectives.size()) +
+                      " objective values, document declares " +
+                      std::to_string(r.objectives.size()));
+    }
+    r.frontier.push_back(std::move(point));
+  }
+  return r;
+}
+
+bool is_pareto_document(const Json& j) {
+  if (!j.is_object()) return false;
+  const Json* format = j.find("format");
+  return format != nullptr && format->is_string() &&
+         format->as_string() == kParetoFormat;
+}
+
+}  // namespace fpr::io

@@ -39,25 +39,25 @@ kernels::Domain domain_of_label(const std::string& label) {
 
 namespace {
 
-// Mean %peak of the proxies representing `domain` on `machine`.
-double domain_pct_peak(kernels::Domain domain, const StudyResults& results,
-                       const std::string& machine) {
+// Mean %peak of the proxies representing `domain`.
+double domain_pct_peak(kernels::Domain domain,
+                       const std::vector<ProjectionPoint>& points) {
   double sum = 0.0;
   int count = 0;
-  for (const auto& k : results.kernels) {
+  for (const auto& p : points) {
     const bool matches =
-        k.info.domain == domain ||
+        p.domain == domain ||
         // The combined Table II domains contribute to both components.
         (domain == kernels::Domain::physics &&
-         (k.info.domain == kernels::Domain::physics_bioscience ||
-          k.info.domain == kernels::Domain::physics_chemistry)) ||
+         (p.domain == kernels::Domain::physics_bioscience ||
+          p.domain == kernels::Domain::physics_chemistry)) ||
         (domain == kernels::Domain::bioscience &&
-         k.info.domain == kernels::Domain::physics_bioscience) ||
+         p.domain == kernels::Domain::physics_bioscience) ||
         (domain == kernels::Domain::chemistry &&
-         k.info.domain == kernels::Domain::physics_chemistry);
+         p.domain == kernels::Domain::physics_chemistry);
     if (!matches) continue;
-    if (k.meas.ops.fp_total() == 0) continue;  // I/O or graph proxies
-    sum += k.on(machine).perf.pct_of_peak;
+    if (!p.has_fp) continue;  // I/O or graph proxies
+    sum += p.pct_of_peak;
     ++count;
   }
   return count > 0 ? sum / count : 0.0;
@@ -66,8 +66,7 @@ double domain_pct_peak(kernels::Domain domain, const StudyResults& results,
 }  // namespace
 
 double project_site_pct_peak(const SiteUtilization& site,
-                             const StudyResults& results,
-                             const std::string& machine_short_name) {
+                             const std::vector<ProjectionPoint>& points) {
   struct Entry {
     const char* label;
     double share;
@@ -80,13 +79,24 @@ double project_site_pct_peak(const SiteUtilization& site,
   double weighted = 0.0, covered = 0.0;
   for (const auto& e : entries) {
     if (e.share <= 0.0) continue;
-    const double pct = domain_pct_peak(domain_of_label(e.label), results,
-                                       machine_short_name);
+    const double pct = domain_pct_peak(domain_of_label(e.label), points);
     if (pct <= 0.0) continue;
     weighted += e.share * pct;
     covered += e.share;
   }
   return covered > 0.0 ? weighted / covered : 0.0;
+}
+
+double project_site_pct_peak(const SiteUtilization& site,
+                             const StudyResults& results,
+                             const std::string& machine_short_name) {
+  std::vector<ProjectionPoint> points;
+  points.reserve(results.kernels.size());
+  for (const auto& k : results.kernels) {
+    points.push_back({k.info.domain, k.meas.ops.fp_total() != 0,
+                      k.on(machine_short_name).perf.pct_of_peak});
+  }
+  return project_site_pct_peak(site, points);
 }
 
 }  // namespace fpr::study

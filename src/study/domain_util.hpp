@@ -32,9 +32,23 @@ const std::vector<SiteUtilization>& site_utilization();
 /// Representative proxy per domain (Table II mapping used in Sec. V-B).
 kernels::Domain domain_of_label(const std::string& label);
 
+/// One kernel's contribution to the Fig. 7 projection, decoupled from
+/// StudyResults so the incremental evaluator and the full study feed the
+/// identical projection arithmetic.
+struct ProjectionPoint {
+  kernels::Domain domain = kernels::Domain::math_cs;
+  bool has_fp = false;  ///< measured FP ops > 0 (I/O and graph proxies: no)
+  double pct_of_peak = 0.0;
+};
+
 /// Project a site's achievable fraction-of-peak flop/s by weighting the
-/// measured %peak of each domain's representative proxies (on `machine`)
-/// with the site's node-hour shares. Returns percent of peak.
+/// per-domain mean %peak of the representative proxies with the site's
+/// node-hour shares (renormalized over the covered share). Returns
+/// percent of peak.
+double project_site_pct_peak(const SiteUtilization& site,
+                             const std::vector<ProjectionPoint>& points);
+
+/// Convenience overload over full study results for `machine`.
 double project_site_pct_peak(const SiteUtilization& site,
                              const StudyResults& results,
                              const std::string& machine_short_name);

@@ -1,82 +1,16 @@
 #include "study/explore.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <map>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "arch/machines.hpp"
-#include "common/units.hpp"
-#include "study/domain_util.hpp"
+#include "common/thread_pool.hpp"
 
 namespace fpr::study {
-
-namespace {
-
-double geomean(const std::vector<double>& xs) {
-  if (xs.empty()) return 1.0;
-  double log_sum = 0.0;
-  for (const double x : xs) log_sum += std::log(x);
-  return std::exp(log_sum / static_cast<double>(xs.size()));
-}
-
-/// Mean Fig. 7 site projection: the %-of-peak the machine would sustain
-/// over each surveyed site's annual node-hour mix, averaged across the
-/// sites (one procurement-relevant scalar per variant).
-double mean_site_pct_peak(const StudyResults& results,
-                          const std::string& machine) {
-  const auto& sites = site_utilization();
-  double sum = 0.0;
-  for (const auto& site : sites) {
-    sum += project_site_pct_peak(site, results, machine);
-  }
-  return sites.empty() ? 0.0 : sum / static_cast<double>(sites.size());
-}
-
-VariantScore score_variant(const StudyResults& results,
-                           arch::MachineVariant variant,
-                           std::size_t machine_index) {
-  VariantScore score;
-  score.variant = std::move(variant);
-  const arch::CpuSpec& cpu = score.variant.cpu;
-
-  std::vector<double> time_ratios, energy_ratios, fp64_pcts;
-  for (const auto& k : results.kernels) {
-    const MachineResult& mr = k.machines[machine_index];
-    const MachineResult& base = k.machines[0];
-    KernelProjection p;
-    p.abbrev = k.info.abbrev;
-    p.mem = mr.mem;
-    p.perf = mr.perf;
-    p.time_ratio = mr.perf.seconds / base.perf.seconds;
-    p.energy_ratio = (mr.perf.power_w * mr.perf.seconds) /
-                     (base.perf.power_w * base.perf.seconds);
-    const auto ops = k.meas.ops_on(cpu.has_mcdram());
-    if (ops.fp64 > 0) {
-      const double achieved_gflops =
-          static_cast<double>(ops.fp64) / mr.perf.seconds / kGiga;
-      p.fp64_pct_peak =
-          100.0 * achieved_gflops / cpu.peak_gflops(arch::Precision::fp64);
-      fp64_pcts.push_back(p.fp64_pct_peak);
-    }
-    time_ratios.push_back(p.time_ratio);
-    energy_ratios.push_back(p.energy_ratio);
-    score.kernels.push_back(std::move(p));
-  }
-
-  score.geomean_time_ratio = geomean(time_ratios);
-  score.geomean_energy_ratio = geomean(energy_ratios);
-  if (!fp64_pcts.empty()) {
-    double sum = 0.0;
-    for (const double v : fp64_pcts) sum += v;
-    score.mean_fp64_pct_peak = sum / static_cast<double>(fp64_pcts.size());
-  }
-  score.site_pct_peak = mean_site_pct_peak(results, cpu.short_name);
-  return score;
-}
-
-}  // namespace
 
 const VariantScore* ExploreResults::find(std::string_view name) const {
   if (baseline.name() == name) return &baseline;
@@ -107,43 +41,77 @@ ExploreResults ExploreEngine::run() {
   const auto specs = cfg_.variants.empty()
                          ? arch::builtin_variant_specs(base)
                          : cfg_.variants;
-  std::set<std::string> seen;
+  // Dedup on the canonical resolved machine, not the spec string: "a+b"
+  // vs "b+a" and factor respellings ("dram-bw=1.5" vs "dram-bw=1.50")
+  // derive the same CpuSpec and must be rejected as loudly as a literal
+  // repeat. The base's own digest is seeded so an identity spec (e.g.
+  // "cores=1") cannot silently duplicate the baseline row either.
+  std::set<std::string> seen_specs;
+  std::map<std::string, std::string> canonical;  // digest -> first spec
+  canonical.emplace(arch::canonical_cpu_digest(base), "<the base machine>");
   std::vector<arch::MachineVariant> variants;
   variants.reserve(specs.size());
   for (const auto& spec : specs) {
-    if (!seen.insert(spec).second) {
+    if (!seen_specs.insert(spec).second) {
       throw std::invalid_argument("duplicate variant spec '" + spec + "'");
     }
-    variants.push_back(arch::derive_variant(base, spec));  // re-validates
+    auto v = arch::derive_variant(base, spec);  // re-validates
+    const auto [it, inserted] =
+        canonical.emplace(arch::canonical_cpu_digest(v.cpu), spec);
+    if (!inserted) {
+      throw std::invalid_argument("variant spec '" + spec +
+                                  "' derives the same machine as " +
+                                  (it->second == "<the base machine>"
+                                       ? it->second
+                                       : "'" + it->second + "'"));
+    }
+    variants.push_back(std::move(v));
   }
 
-  // One study over [base, variants...]: each kernel runs instrumented
-  // once and streams a (kernel, machine) stage per grid machine.
-  StudyConfig sc;
-  sc.scale = cfg_.scale;
-  sc.threads = cfg_.threads;
-  sc.freq_sweep = false;  // the Fig. 6 sweep is a per-real-machine study
-  sc.trace_refs = cfg_.trace_refs;
-  sc.kernels = cfg_.kernels;
-  sc.seed = cfg_.seed;
-  sc.jobs = cfg_.jobs;
-  sc.kernel_jobs = cfg_.kernel_jobs;
-  sc.canonical_timing = true;  // explore output is analytic; keep it stable
-  sc.machines.push_back(base);
-  for (const auto& v : variants) sc.machines.push_back(v.cpu);
+  // Phase 1: measure every kernel on the base exactly once.
+  VariantEvaluator::Config ec;
+  ec.kernels = cfg_.kernels;
+  ec.scale = cfg_.scale;
+  ec.threads = cfg_.threads;
+  ec.trace_refs = cfg_.trace_refs;
+  ec.seed = cfg_.seed;
+  ec.jobs = cfg_.jobs;
+  ec.kernel_jobs = cfg_.kernel_jobs;
+  const VariantEvaluator evaluator(base, ec, factory_);
 
-  StudyEngine engine(sc, factory_);
-  auto results = engine.run();
-  stats_ = engine.stats();
-
+  // Phase 2: score the baseline and every variant from the cached
+  // measurements — model arithmetic only, slot-ordered so any jobs
+  // split is a pure reordering.
   ExploreResults out;
   out.base = base.short_name;
-  out.baseline =
-      score_variant(results, arch::MachineVariant{"", std::move(base)}, 0);
-  for (std::size_t i = 0; i < variants.size(); ++i) {
-    out.variants.push_back(
-        score_variant(results, std::move(variants[i]), i + 1));
+  out.baseline = evaluator.evaluate(arch::MachineVariant{"", std::move(base)});
+  out.variants.resize(variants.size());
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned jobs = std::max(1u, cfg_.jobs != 0 ? cfg_.jobs : hw);
+  if (jobs == 1 || variants.size() <= 1) {
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      out.variants[i] = evaluator.evaluate(variants[i]);
+    }
+  } else {
+    ThreadPool pool(jobs);
+    pool.parallel_for(variants.size(),
+                      [&](std::size_t begin, std::size_t end, unsigned) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          out.variants[i] = evaluator.evaluate(variants[i]);
+                        }
+                      });
   }
+
+  stats_ = evaluator.measurement_stats();
+  // Count the scored (kernel, variant) grid like the monolithic engine
+  // did, and report replay-cache totals across both phases.
+  stats_.machine_evals +=
+      variants.size() * static_cast<std::uint64_t>(evaluator.kernel_count());
+  const auto sim = evaluator.sim_stats();
+  stats_.sim_hits = sim.hits;
+  stats_.sim_misses = sim.misses;
+  evaluator_stats_ = evaluator.stats();
   return out;
 }
 

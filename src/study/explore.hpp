@@ -6,15 +6,16 @@
 // bandwidth, more MCDRAM, more cores, a tighter TDP) swept over the
 // whole proxy suite.
 //
-// Execution reuses StudyEngine wholesale: each kernel runs instrumented
-// exactly once (cfg.kernel_jobs producers), and every (kernel, machine)
-// stage — memory simulation + model evaluation — fans out over cfg.jobs
-// workers, with the machine list being [base, variants...] instead of
-// the Table I trio. The engine-wide memsim::SimCache is geometry-keyed,
-// so every variant that leaves the cache hierarchy untouched (bandwidth,
-// TDP, FPU respins) reuses the base machine's hierarchy replays and
-// costs only model arithmetic. Results are slot-ordered and
-// byte-identical across any (jobs, kernel_jobs), as for fpr study.
+// Execution is the two-phase incremental pipeline: one
+// study::VariantEvaluator measurement pass over the base machine (each
+// kernel runs instrumented exactly once; cfg.kernel_jobs producers,
+// cfg.jobs machine-stage workers), then one evaluate() per variant —
+// model arithmetic against the cached measurements, fanned across
+// cfg.jobs workers with slot-ordered results. Variants are deduplicated
+// by canonical resolved machine (arch::canonical_cpu_digest), so
+// order-equivalent compositions ("a+b" vs "b+a") and factor respellings
+// are rejected as loudly as raw duplicates. Results are byte-identical
+// across any (jobs, kernel_jobs), as for fpr study.
 #pragma once
 
 #include <string>
@@ -24,33 +25,9 @@
 #include "model/exec_model.hpp"
 #include "model/memprofile.hpp"
 #include "study/study_engine.hpp"
+#include "study/variant_eval.hpp"
 
 namespace fpr::study {
-
-/// One kernel evaluated on one variant, plus its deltas vs the base
-/// machine (ratios < 1 mean the variant is better).
-struct KernelProjection {
-  std::string abbrev;
-  model::MemoryProfile mem;
-  model::EvalResult perf;
-  double time_ratio = 1.0;     ///< seconds / base seconds
-  double energy_ratio = 1.0;   ///< (power * seconds) / base energy
-  double fp64_pct_peak = 0.0;  ///< achieved FP64 as % of the variant's peak
-};
-
-/// One variant's full scorecard over the kernel selection.
-struct VariantScore {
-  arch::MachineVariant variant;  ///< spec "" = the base machine itself
-  std::vector<KernelProjection> kernels;
-  double geomean_time_ratio = 1.0;    ///< time-to-solution vs base
-  double geomean_energy_ratio = 1.0;  ///< energy-to-solution vs base
-  double mean_fp64_pct_peak = 0.0;    ///< over kernels with FP64 work
-  double site_pct_peak = 0.0;  ///< Fig. 7 projection, averaged over sites
-
-  [[nodiscard]] const std::string& name() const {
-    return variant.cpu.short_name;
-  }
-};
 
 struct ExploreResults {
   std::string base;              ///< base machine short name
@@ -83,16 +60,27 @@ class ExploreEngine {
 
   /// Run the sweep. Call at most once per engine. Throws
   /// std::invalid_argument for an unknown base machine, a malformed or
-  /// inconsistent variant spec, or duplicate variant specs.
+  /// inconsistent variant spec, or variant specs that duplicate each
+  /// other — textually or canonically (two spellings of one machine).
   [[nodiscard]] ExploreResults run();
 
-  /// Valid after run() returns (or throws).
+  /// Valid after run() returns (or throws): measurement-phase counters
+  /// (kernel_runs, the base machine_evals) with the hierarchy-replay
+  /// hit/miss totals across measurement *and* variant scoring, plus one
+  /// machine_eval per scored (kernel, variant) pair — the same grid the
+  /// monolithic engine counted.
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+  /// Scoring-side counters (memo hits/misses, evaluate() calls).
+  [[nodiscard]] const EvaluatorStats& evaluator_stats() const {
+    return evaluator_stats_;
+  }
 
  private:
   ExploreConfig cfg_;
   StudyEngine::KernelFactory factory_;
   EngineStats stats_;
+  EvaluatorStats evaluator_stats_;
 };
 
 /// The deterministic configuration behind

@@ -5,12 +5,14 @@
 // sweep (the Sec. III-A steps 3's performance/profiling/frequency runs).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "arch/machines.hpp"
 #include "kernels/kernel.hpp"
+#include "memsim/sim_cache.hpp"
 #include "model/exec_model.hpp"
 #include "model/memprofile.hpp"
 
@@ -60,6 +62,13 @@ struct StudyConfig {
   /// through here; short names must be unique since KernelResult::on
   /// looks results up by them.
   std::vector<arch::CpuSpec> machines;
+  /// Replay memo shared with the caller (null = the engine creates a
+  /// private one per run). The incremental evaluator passes the cache it
+  /// keeps across evaluate() calls, so variant scoring after the
+  /// measurement phase reuses the hierarchy replays the study already
+  /// paid for. Memoized entries equal fresh simulations byte for byte,
+  /// so sharing never changes results.
+  std::shared_ptr<memsim::SimCache> sim_cache;
 };
 
 struct StudyResults {

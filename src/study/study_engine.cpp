@@ -81,7 +81,8 @@ StudyResults StudyEngine::run() {
   // repeats, kernels with equal sliced specs, or any jobs split — are
   // simulated once. Memoized results are the results a fresh simulation
   // produces, so byte-identity across (kernel_jobs, jobs) is unaffected.
-  auto sim_cache = std::make_shared<memsim::SimCache>();
+  auto sim_cache = cfg_.sim_cache ? cfg_.sim_cache
+                                  : std::make_shared<memsim::SimCache>();
 
   auto machine_stage = [&](std::size_t ki, std::size_t mi) {
     KernelResult& kr = results.kernels[ki];

@@ -1,0 +1,144 @@
+// VariantEvaluator: the incremental half of the design-space machinery.
+//
+// The old explore pipeline paid one StudyEngine (kernel, machine) stage
+// per variant — O(variants × kernels) memory simulations and a
+// StudyResults that grew with the grid. The evaluator splits that into
+// two phases:
+//
+//  1. a one-time *measurement phase*: every selected kernel runs
+//     instrumented exactly once (a StudyEngine over the base machine
+//     alone), and the base machine's hierarchy replays land in a
+//     SimCache the evaluator keeps alive;
+//  2. on-demand *scoring*: evaluate(variant) is model arithmetic only —
+//     memory profiles come from a model-level memo keyed by
+//     arch::memory_model_digest (so bandwidth/TDP/FPU respins reuse the
+//     base profiles outright, and geometry-changing variants replay
+//     through the shared SimCache once per distinct geometry), and the
+//     compute-side model (model::evaluate_at_turbo) is recomputed per
+//     call because it is cheap pure arithmetic.
+//
+// evaluate() is const and thread-safe: a search engine may score
+// candidates from many workers concurrently. Scoring reproduces the
+// monolithic pipeline's arithmetic exactly — same model calls, same
+// inputs, same order — which is what lets the rewired ExploreEngine
+// keep the golden explore snapshot byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/variant.hpp"
+#include "memsim/sim_cache.hpp"
+#include "model/exec_model.hpp"
+#include "model/memprofile.hpp"
+#include "study/study_engine.hpp"
+
+namespace fpr::study {
+
+/// One kernel evaluated on one variant, plus its deltas vs the base
+/// machine (ratios < 1 mean the variant is better).
+struct KernelProjection {
+  std::string abbrev;
+  model::MemoryProfile mem;
+  model::EvalResult perf;
+  double time_ratio = 1.0;     ///< seconds / base seconds
+  double energy_ratio = 1.0;   ///< (power * seconds) / base energy
+  double fp64_pct_peak = 0.0;  ///< achieved FP64 as % of the variant's peak
+};
+
+/// One variant's full scorecard over the kernel selection.
+struct VariantScore {
+  arch::MachineVariant variant;  ///< spec "" = the base machine itself
+  std::vector<KernelProjection> kernels;
+  double geomean_time_ratio = 1.0;    ///< time-to-solution vs base
+  double geomean_energy_ratio = 1.0;  ///< energy-to-solution vs base
+  double mean_fp64_pct_peak = 0.0;    ///< over kernels with FP64 work
+  double site_pct_peak = 0.0;  ///< Fig. 7 projection, averaged over sites
+
+  [[nodiscard]] const std::string& name() const {
+    return variant.cpu.short_name;
+  }
+};
+
+/// Geometric mean of per-kernel ratios. Every input must be finite and
+/// > 0 — std::log(0) would otherwise poison the whole aggregate with
+/// -inf silently; a zero or non-finite ratio means a model bug upstream,
+/// so this throws std::domain_error naming the offending value instead.
+double geomean_ratio(const std::vector<double>& ratios);
+
+/// Scoring-side counters (the measurement phase reports EngineStats).
+struct EvaluatorStats {
+  std::uint64_t evaluations = 0;  ///< evaluate() calls completed
+  std::uint64_t memo_hits = 0;    ///< profile sets served from the memo
+  std::uint64_t memo_misses = 0;  ///< profile sets computed (once per
+                                  ///< distinct memory-model digest)
+};
+
+class VariantEvaluator {
+ public:
+  struct Config {
+    /// Kernel selection / run parameters, as for StudyConfig.
+    std::vector<std::string> kernels;
+    double scale = 0.3;
+    unsigned threads = 0;
+    std::uint64_t trace_refs = model::kDefaultTraceRefs;
+    std::uint64_t seed = 42;
+    unsigned jobs = 1;
+    unsigned kernel_jobs = 1;
+  };
+
+  /// Runs the measurement phase (throws whatever the kernel runs throw).
+  VariantEvaluator(arch::CpuSpec base, const Config& cfg,
+                   StudyEngine::KernelFactory factory = nullptr);
+
+  /// Score one variant against the measured base. `variant.cpu` must be
+  /// derived from this evaluator's base machine (arch::derive_variant);
+  /// the base itself is the empty spec. Thread-safe.
+  [[nodiscard]] VariantScore evaluate(const arch::MachineVariant& variant) const;
+
+  [[nodiscard]] const arch::CpuSpec& base() const { return base_; }
+  [[nodiscard]] std::size_t kernel_count() const { return kernels_.size(); }
+
+  /// Measurement-phase counters (kernel_runs == kernel_count()).
+  [[nodiscard]] const EngineStats& measurement_stats() const {
+    return measurement_stats_;
+  }
+  /// Scoring-side counters. Totals are deterministic for a fixed call
+  /// sequence; hit/miss split may shift under concurrent evaluate()
+  /// racing on a fresh digest (both compute, first insert wins) — never
+  /// the scores.
+  [[nodiscard]] EvaluatorStats stats() const;
+  /// The shared hierarchy-replay cache's counters (measurement + scoring).
+  [[nodiscard]] memsim::SimCache::Stats sim_stats() const {
+    return sim_cache_->stats();
+  }
+
+ private:
+  /// Everything evaluate() needs per kernel, captured once.
+  struct KernelBase {
+    kernels::KernelInfo info;
+    model::WorkloadMeasurement meas;
+    model::EvalResult perf;  ///< on the base machine
+  };
+  using ProfileSet = std::vector<model::MemoryProfile>;  // kernel order
+
+  [[nodiscard]] std::shared_ptr<const ProfileSet> profiles_for(
+      const arch::CpuSpec& cpu) const;
+
+  arch::CpuSpec base_;
+  std::uint64_t trace_refs_ = model::kDefaultTraceRefs;
+  std::vector<KernelBase> kernels_;
+  std::shared_ptr<memsim::SimCache> sim_cache_;
+  EngineStats measurement_stats_;
+
+  mutable std::mutex mu_;  // guards memo_ and stats_
+  mutable std::unordered_map<std::string, std::shared_ptr<const ProfileSet>>
+      memo_;
+  mutable EvaluatorStats stats_;
+};
+
+}  // namespace fpr::study

@@ -204,6 +204,73 @@ TEST(Variant, RejectsMalformedAndInconsistentSpecs) {
   EXPECT_THROW(derive_variant(knl(), "dram-bw=10"), std::invalid_argument);
 }
 
+TEST(Variant, CanonicalDigestIsSpellingInvariant) {
+  // Order-equivalent compositions resolve to the same machine.
+  const auto ab = derive_variant(knl(), "cores=2+tdp=0.9");
+  const auto ba = derive_variant(knl(), "tdp=0.9+cores=2");
+  EXPECT_NE(ab.cpu.short_name, ba.cpu.short_name);  // labels differ...
+  EXPECT_EQ(canonical_cpu_digest(ab.cpu), canonical_cpu_digest(ba.cpu));
+  // ...as do factor respellings of one number.
+  EXPECT_EQ(canonical_cpu_digest(derive_variant(knl(), "dram-bw=1.5").cpu),
+            canonical_cpu_digest(derive_variant(knl(), "dram-bw=1.50").cpu));
+  // Distinct machines stay distinct, including across bases.
+  EXPECT_NE(canonical_cpu_digest(ab.cpu), canonical_cpu_digest(knl()));
+  EXPECT_NE(canonical_cpu_digest(knl()), canonical_cpu_digest(knm()));
+  EXPECT_NE(canonical_cpu_digest(derive_variant(knl(), "dram-bw=1.5").cpu),
+            canonical_cpu_digest(derive_variant(knl(), "dram-bw=1.25").cpu));
+}
+
+TEST(Variant, MemoryModelDigestIgnoresComputeOnlyKnobs) {
+  // TDP and FPU respins don't touch what the memory model reads...
+  EXPECT_EQ(memory_model_digest(knl()),
+            memory_model_digest(derive_variant(knl(), "tdp=0.85").cpu));
+  EXPECT_EQ(memory_model_digest(knl()),
+            memory_model_digest(derive_variant(knl(), "halve-fp64").cpu));
+  // ...while bandwidth, capacity, and core-count changes do.
+  EXPECT_NE(memory_model_digest(knl()),
+            memory_model_digest(derive_variant(knl(), "mcdram-bw=1.5").cpu));
+  EXPECT_NE(memory_model_digest(knl()),
+            memory_model_digest(derive_variant(knl(), "cores=1.25").cpu));
+}
+
+TEST(Variant, ComposeAndCountSpecs) {
+  EXPECT_EQ(compose_specs("", ""), "");
+  EXPECT_EQ(compose_specs("a", ""), "a");
+  EXPECT_EQ(compose_specs("", "b"), "b");
+  EXPECT_EQ(compose_specs("a+b", "c"), "a+b+c");
+  EXPECT_EQ(spec_transform_count(""), 0u);
+  EXPECT_EQ(spec_transform_count("halve-fp64"), 1u);
+  EXPECT_EQ(spec_transform_count("a+b+c"), 3u);
+}
+
+TEST(Variant, BudgetModelTracksTheSiliconStory) {
+  const auto base_budget = variant_budget(knl(), knl());
+  EXPECT_DOUBLE_EQ(base_budget.area_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(base_budget.tdp_ratio, 1.0);
+  EXPECT_TRUE(within_budget(base_budget, BudgetLimits{}));
+  // Cutting FP64 silicon frees area at constant TDP.
+  const auto cut = variant_budget(derive_variant(knl(), "halve-fp64").cpu,
+                                  knl());
+  EXPECT_LT(cut.area_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(cut.tdp_ratio, 1.0);
+  // More cores cost area; a TDP factor moves only the power ratio.
+  EXPECT_GT(variant_budget(derive_variant(knl(), "cores=1.25").cpu, knl())
+                .area_ratio,
+            1.0);
+  const auto cooler = variant_budget(derive_variant(knl(), "tdp=0.85").cpu,
+                                     knl());
+  EXPECT_DOUBLE_EQ(cooler.area_ratio, 1.0);
+  EXPECT_NEAR(cooler.tdp_ratio, 0.85, 1e-12);
+  // The default box rejects bigger dies and accepts within-slack ties.
+  EXPECT_FALSE(within_budget(ResourceBudget{1.01, 1.0}, BudgetLimits{}));
+  EXPECT_TRUE(within_budget(ResourceBudget{1.0 + 1e-12, 1.0},
+                            BudgetLimits{}));
+  EXPECT_GT(die_area_units(knl()), 0.0);
+  CpuSpec broken = knl();
+  broken.tdp_w = 0.0;
+  EXPECT_THROW((void)variant_budget(knl(), broken), std::invalid_argument);
+}
+
 TEST(Variant, CatalogueCoversBuiltinGrid) {
   const auto& catalogue = transform_catalogue();
   EXPECT_GE(catalogue.size(), 6u);

@@ -17,6 +17,7 @@
 
 #include "cli/cli.hpp"
 #include "io/explore_json.hpp"
+#include "io/pareto_json.hpp"
 #include "io/study_json.hpp"
 #include "kernels/kernel.hpp"
 
@@ -345,6 +346,84 @@ TEST(Cli, DiffComparesExploreFilesAndRejectsMixing) {
   const auto loose = run({"diff", a.path(), b.path(), "--tolerance", "0.51"});
   EXPECT_EQ(loose.code, 0) << loose.err;
   // Study-vs-explore is a usage error, not a confusing schema failure.
+  const auto mixed = run({"diff", a.path(), s.path()});
+  EXPECT_EQ(mixed.code, 2);
+  EXPECT_NE(mixed.err.find("cannot compare"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// fpr pareto
+
+/// Fast two-kernel, two-round pareto invocation.
+CliOutcome run_pareto(const std::vector<std::string>& extra = {}) {
+  std::vector<std::string> args = {
+      "pareto", "--kernel", "HPL,BABL2",   "--scale",  "0.15",
+      "--trace-refs", "20000", "--rounds", "1", "--explorers", "4"};
+  args.insert(args.end(), extra.begin(), extra.end());
+  return run(args);
+}
+
+TEST(Cli, ParetoPrintsFrontierAndStats) {
+  const auto r = run_pareto();
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Pareto frontier vs KNL"), std::string::npos);
+  EXPECT_NE(r.out.find("GeoT2sol"), std::string::npos);
+  EXPECT_NE(r.err.find("[fpr] pareto search:"), std::string::npos);
+  EXPECT_NE(r.err.find("duplicate(s)"), std::string::npos);
+}
+
+TEST(Cli, ParetoOutDashIsByteIdenticalAcrossJobs) {
+  const auto serial = run_pareto({"--out", "-"});
+  const auto parallel = run_pareto({"--out", "-", "--jobs", "4"});
+  EXPECT_EQ(serial.code, 0) << serial.err;
+  EXPECT_EQ(parallel.code, 0) << parallel.err;
+  ASSERT_FALSE(serial.out.empty());
+  EXPECT_EQ(serial.out.front(), '{');
+  EXPECT_EQ(serial.out, parallel.out);
+  (void)io::pareto_from_json(io::parse(serial.out));  // schema-valid
+}
+
+TEST(Cli, ParetoCsvKeepsStdoutMachineParsable) {
+  const auto r = run_pareto({"--csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.find("Pareto frontier"), std::string::npos);
+  EXPECT_NE(r.err.find("Pareto frontier"), std::string::npos);
+  EXPECT_NE(r.out.find("Variant,Spec,GeoT2sol"), std::string::npos);
+}
+
+TEST(Cli, ParetoHonorsBudgetAndObjectiveOptions) {
+  // A looser area budget admits machines the default box rejects.
+  const auto roomy = run_pareto({"--budget-area", "1.2", "--objectives",
+                                 "time,energy"});
+  EXPECT_EQ(roomy.code, 0) << roomy.err;
+  EXPECT_NE(roomy.err.find("area<=1.2"), std::string::npos);
+  const auto results = io::pareto_from_json(io::parse(
+      run_pareto({"--objectives", "time", "--out", "-"}).out));
+  ASSERT_EQ(results.objectives.size(), 1u);
+  EXPECT_EQ(results.objectives[0], study::Objective::time);
+  for (const auto& p : results.frontier) {
+    EXPECT_EQ(p.objectives.size(), 1u) << p.name();
+  }
+}
+
+TEST(Cli, ParetoRejectsBadOptions) {
+  EXPECT_EQ(run({"pareto", "--base", "EPYC"}).code, 1);  // engine throws
+  EXPECT_EQ(run_pareto({"--objectives", "throughput"}).code, 2);
+  EXPECT_EQ(run_pareto({"--objectives", ","}).code, 2);
+  EXPECT_EQ(run_pareto({"--max-depth", "0"}).code, 2);
+  EXPECT_EQ(run_pareto({"--budget-area", "0"}).code, 2);
+  EXPECT_EQ(run_pareto({"--budget-tdp", "-1"}).code, 2);
+  EXPECT_EQ(run_pareto({"--search-seed"}).code, 2);  // missing value
+  EXPECT_EQ(run({"pareto", "stray"}).code, 2);
+}
+
+TEST(Cli, DiffComparesParetoFilesAndRejectsMixing) {
+  TempFile a("pareto_a"), s("study_for_pareto");
+  ASSERT_EQ(run_pareto({"--out", a.path()}).code, 0);
+  ASSERT_EQ(run_study_to(s.path()).code, 0);
+  const auto same = run({"diff", a.path(), a.path()});
+  EXPECT_EQ(same.code, 0) << same.err;
+  EXPECT_NE(same.out.find("OK:"), std::string::npos);
   const auto mixed = run({"diff", a.path(), s.path()});
   EXPECT_EQ(mixed.code, 2);
   EXPECT_NE(mixed.err.find("cannot compare"), std::string::npos);

@@ -133,6 +133,35 @@ TEST(ExploreEngine, RejectsBadConfigs) {
   }
 }
 
+TEST(ExploreEngine, RejectsCanonicallyEquivalentVariants) {
+  // Dedup is by resolved machine, not by spelling: order-equivalent
+  // compositions and factor respellings are duplicates too, and the
+  // error names both colliding spellings.
+  {
+    ExploreConfig cfg = small_config();
+    cfg.variants = {"cores=2+tdp=0.9", "tdp=0.9+cores=2"};
+    try {
+      (void)ExploreEngine(cfg).run();
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("tdp=0.9+cores=2"), std::string::npos) << what;
+      EXPECT_NE(what.find("cores=2+tdp=0.9"), std::string::npos) << what;
+    }
+  }
+  {
+    ExploreConfig cfg = small_config();
+    cfg.variants = {"dram-bw=1.5", "dram-bw=1.50"};
+    EXPECT_THROW((void)ExploreEngine(cfg).run(), std::invalid_argument);
+  }
+  {
+    // A spec that merely re-derives the base machine collides with it.
+    ExploreConfig cfg = small_config();
+    cfg.variants = {"dram-bw=1.0"};
+    EXPECT_THROW((void)ExploreEngine(cfg).run(), std::invalid_argument);
+  }
+}
+
 TEST(ExploreEngine, DefaultGridIsTheBuiltinOne) {
   ExploreConfig cfg = small_config();
   cfg.variants.clear();
