@@ -12,7 +12,10 @@
 //  - batched:  TraceGenerator::fill blocks and Cache::access_many level
 //    filtering, with the tag probe pinned to the scalar loop;
 //  - +SIMD:    the production path — batched with the runtime-dispatch
-//    AVX2 tag probe (falls back to the scalar probe off x86/AVX2).
+//    AVX2 tag probe (falls back to the scalar probe off x86/AVX2);
+//  - file:     the same replay fed from an fpr-trace v1 file
+//    (FileTraceSource: chunked varint decode instead of generation),
+//    measuring the external-trace ingestion path `fpr trace` uses.
 //
 // Two companion tables break the production path down further: a
 // per-stage roofline (refs/second through the generator and each cache
@@ -35,14 +38,18 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+
 #include "arch/machines.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "io/trace_format.hpp"
 #include "memsim/cache.hpp"
 #include "memsim/hierarchy.hpp"
 #include "memsim/trace_gen.hpp"
+#include "memsim/trace_source.hpp"
 
 namespace {
 
@@ -318,8 +325,8 @@ int main(int argc, char** argv) {
   }
 
   TextTable table({"Pattern", "Baseline[Mref/s]", "Scalar[Mref/s]",
-                   "Batched[Mref/s]", "+SIMD[Mref/s]", "Speedup",
-                   "Identical"});
+                   "Batched[Mref/s]", "+SIMD[Mref/s]", "File[Mref/s]",
+                   "Speedup", "Identical"});
   std::vector<std::string> stage_cols = {"Pattern", "Gen[Mref/s]"};
   for (const auto& n : level_names) stage_cols.push_back(n + "[Mref/s]");
   TextTable stage_table(stage_cols);
@@ -365,8 +372,36 @@ int main(int argc, char** argv) {
     StageTiming st;
     const auto rstage = staged_replay(hstage, gstage, refs, refs, st);
 
+    // File-backed replay: record the identical reference stream to an
+    // fpr-trace file, then time FileTraceSource (decode + replay; the
+    // recording itself stays outside the timer).
+    const char* trace_path = "memsim_replay_bench.fpt";
+    {
+      io::TraceWriter writer(trace_path);
+      TraceGenerator gw(scaled, 0xfeed1234);
+      std::vector<MemRef> block(4096);
+      for (std::uint64_t done = 0; done < 2 * refs;) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(block.size(), 2 * refs - done));
+        gw.fill(block.data(), n);
+        writer.append(block.data(), n);
+        done += n;
+      }
+      writer.finish();
+    }
+    Hierarchy hf(cpu, scale_shift);
+    WallTimer tf;
+    HierarchyResult rf;
+    {
+      FileTraceSource fsrc(trace_path);
+      rf = hf.replay(fsrc, refs, refs);
+    }
+    const double file_s = tf.seconds();
+    std::remove(trace_path);
+
     const bool same = identical(r0, rb) && identical(rs, rb) &&
-                      identical(rv, rb) && identical(rstage, rb);
+                      identical(rv, rb) && identical(rstage, rb) &&
+                      identical(rf, rb);
     all_identical = all_identical && same;
     baseline_total += baseline_s;
     scalar_total += scalar_s;
@@ -382,6 +417,7 @@ int main(int argc, char** argv) {
         .num(scalar_s > 0 ? mref / scalar_s : 0.0, 2)
         .num(batched_s > 0 ? mref / batched_s : 0.0, 2)
         .num(simd_s > 0 ? mref / simd_s : 0.0, 2)
+        .num(file_s > 0 ? mref / file_s : 0.0, 2)
         .num(simd_s > 0 ? baseline_s / simd_s : 0.0, 2)
         .cell(same ? "yes" : "NO")
         .done();
@@ -457,8 +493,8 @@ int main(int argc, char** argv) {
 
   if (!all_identical) {
     std::cerr << "[bench] REPLAY MISMATCH: every path (baseline, scalar, "
-                 "batched, SIMD, staged, and each shard rung) must produce "
-                 "identical per-level statistics\n";
+                 "batched, SIMD, staged, file, and each shard rung) must "
+                 "produce identical per-level statistics\n";
     return 1;
   }
   if (perf_gate && speedup < 1.0) {

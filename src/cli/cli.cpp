@@ -19,7 +19,9 @@
 #include "io/explore_json.hpp"
 #include "io/pareto_json.hpp"
 #include "io/study_json.hpp"
+#include "io/trace_format.hpp"
 #include "kernels/kernel.hpp"
+#include "memsim/trace_source.hpp"
 #include "model/exec_model.hpp"
 #include "model/memprofile.hpp"
 #include "model/roofline.hpp"
@@ -43,6 +45,10 @@ constexpr const char* kUsage =
     "                       freq sweep) on the parallel StudyEngine\n"
     "  memsim [options]     per-kernel x machine cache-hierarchy hit-rate\n"
     "                       table (the simulated PCM counters)\n"
+    "  trace FILE [options] replay a recorded fpr-trace binary address\n"
+    "                       trace through the same hierarchy simulation\n"
+    "                       and print the per-machine hit-rate table\n"
+    "                       (record/convert files with the fpr-trace tool)\n"
     "  explore [options]    what-if machine exploration: sweep the kernels\n"
     "                       across derived variants of a base machine and\n"
     "                       score each variant against it (Sec. VII)\n"
@@ -92,6 +98,18 @@ constexpr const char* kUsage =
     "                       (default 0 = serial; results are identical\n"
     "                       for every J, only wall time changes)\n"
     "\n"
+    "trace options (plus --refs/--scale-shift/--shard-jobs/--csv as\n"
+    "above):\n"
+    "  --machine M[,M...]   replay only on the named Table I machines\n"
+    "                       (default: all)\n"
+    "  --refs N             measured references, > 0 (default: every\n"
+    "                       record after the warmup prefix)\n"
+    "  --warmup N           records replayed uncounted before measuring\n"
+    "                       starts (default 0; traces recorded with\n"
+    "                       'fpr-trace record' carry their own prefix)\n"
+    "  --out FILE           write a per-machine trace profile JSON\n"
+    "                       ('-' = stdout, suppressing the table)\n"
+    "\n"
     "explore options (plus --kernel/--scale/--threads/--seed/--trace-refs/\n"
     "--jobs/--kernel-jobs/--csv/--out as above):\n"
     "  --base M             base machine short name: KNL, KNM, or BDW\n"
@@ -128,7 +146,7 @@ constexpr const char* kUsage =
     "                       (default 0; exit 1 if any metric exceeds it)\n"
     "\n"
     "exit codes: 0 ok; 1 runtime error or diff over tolerance; 2 usage\n"
-    "error; 3 diff input file missing/unreadable\n";
+    "error; 3 diff/trace input file missing, unreadable, or malformed\n";
 
 struct RunOptions {
   std::vector<std::string> kernels;  // empty = all, in paper order
@@ -142,8 +160,12 @@ struct RunOptions {
   unsigned jobs = 0;        // 0 = all hardware
   unsigned kernel_jobs = 1;  // 0 = all hardware
   std::uint64_t trace_refs = model::kDefaultTraceRefs;
+  bool refs_explicit = false;  // trace: --refs given (else whole file)
   unsigned scale_shift = model::kDefaultScaleShift;  // memsim
   unsigned shard_jobs = 0;  // memsim: workers per replay, 0 = serial
+  // trace
+  std::uint64_t warmup = 0;
+  std::vector<std::string> machines;  // empty = all Table I machines
   bool no_sweep = false;
   bool timing = false;
   bool golden = false;
@@ -669,6 +691,169 @@ int cmd_memsim(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// Exit code for a missing/unreadable/malformed input file (`fpr diff`
+// results, `fpr trace` traces) — distinct from 1 (metrics over
+// tolerance / runtime error) and 2 (usage error) so scripts can tell
+// "results regressed" from "results never arrived".
+constexpr int kExitBadInput = 3;
+
+std::string fmt_hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Basename of `path` without its extension — the table's "Trace" cell.
+std::string trace_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name.resize(dot);
+  return name.empty() ? path : name;
+}
+
+/// `fpr trace FILE`: replay a recorded fpr-trace binary through the
+/// same hierarchy simulation `fpr memsim` uses and print the same
+/// per-machine hit-rate columns (so rows are directly comparable:
+/// `--csv` output matches memsim's minus the leading kernel/trace
+/// cell). Replays go through the context SimCache keyed by the trace's
+/// content digest, and --shard-jobs shards them bit-identically.
+int cmd_trace(const RunOptions& opt, std::ostream& out, std::ostream& err) {
+  if (opt.positional.size() != 1) {
+    return usage_error(err, "trace needs exactly one fpr-trace file");
+  }
+  const std::string& path = opt.positional.front();
+
+  // Resolve --machine names before touching the file: usage errors
+  // should win over input errors.
+  const auto all = arch::all_machines();
+  std::vector<arch::CpuSpec> machines;
+  if (opt.machines.empty()) {
+    machines = all;
+  } else {
+    for (const auto& name : opt.machines) {
+      const arch::CpuSpec* found = nullptr;
+      for (const auto& cpu : all) {
+        if (cpu.short_name == name) found = &cpu;
+      }
+      if (found == nullptr) {
+        return usage_error(err, "unknown machine '" + name +
+                                    "' (expected a Table I short name)");
+      }
+      machines.push_back(*found);
+    }
+  }
+
+  io::TraceInfo info;
+  try {
+    info = io::read_trace_info(path);
+  } catch (const io::TraceFormatError& e) {
+    err << "fpr trace: " << e.what() << "\n";
+    return kExitBadInput;
+  }
+  if (info.records <= opt.warmup) {
+    return usage_error(err, "--warmup " + std::to_string(opt.warmup) +
+                                " leaves no measurable records ('" + path +
+                                "' holds " + std::to_string(info.records) +
+                                ")");
+  }
+  const std::uint64_t avail = info.records - opt.warmup;
+  const std::uint64_t refs =
+      opt.refs_explicit ? std::min(opt.trace_refs, avail) : avail;
+
+  err << "[fpr] trace: '" << path << "', " << info.records
+      << " record(s), digest " << fmt_hex64(info.digest) << ", refs=" << refs
+      << ", warmup=" << opt.warmup << ", scale-shift=" << opt.scale_shift
+      << ", shard-jobs=" << opt.shard_jobs << "\n";
+
+  ExecutionContext ctx(opt.threads);
+  memsim::SimCache* cache = ctx.sim_cache().get();
+  memsim::ShardPlan shards;
+  if (opt.shard_jobs > 0) {
+    shards.pool = &ctx.pool();
+    shards.jobs = opt.shard_jobs;
+  }
+
+  const std::string stem = trace_stem(path);
+  const bool json_to_stdout = opt.out == "-";
+  TextTable t({"Trace", "Machine", "L1h%", "L2h%", "Last", "LLh%",
+               "Offchip%", "DRAM%"});
+  io::Json machines_json = io::Json::array();
+  try {
+    for (const auto& cpu : machines) {
+      const auto res = memsim::replay_trace_cached(
+          cache, cpu, path, refs, opt.warmup, opt.scale_shift, shards);
+      const std::string last = cpu.has_mcdram() ? "MCDRAM$" : "LLC";
+      t.row()
+          .cell(stem)
+          .cell(cpu.short_name)
+          .num(100.0 * res.hit_rate("L1"), 2)
+          .num(100.0 * res.hit_rate("L2"), 2)
+          .cell(last)
+          .num(100.0 * res.hit_rate(last), 2)
+          .num(100.0 * (1.0 - res.served_at_or_above("L2")), 2)
+          .num(100.0 * res.dram_fraction(), 2)
+          .done();
+      if (!opt.out.empty()) {
+        const auto mem =
+            model::profile_trace(cpu, res, info.working_set_bytes());
+        io::Json m = io::Json::object();
+        m.set("machine", std::string(cpu.short_name));
+        io::Json levels = io::Json::array();
+        for (const auto& l : res.levels) {
+          io::Json e = io::Json::object();
+          e.set("name", l.name);
+          e.set("hits", l.stats.hits);
+          e.set("misses", l.stats.misses);
+          e.set("writebacks", l.stats.writebacks);
+          levels.push(std::move(e));
+        }
+        m.set("levels", std::move(levels));
+        m.set("mem", io::to_json(mem));
+        machines_json.push(std::move(m));
+      }
+    }
+  } catch (const io::TraceFormatError& e) {
+    err << "fpr trace: " << e.what() << "\n";
+    return kExitBadInput;
+  }
+
+  std::ostream& heading = (opt.csv || json_to_stdout) ? err : out;
+  heading << "Simulated per-level hit rates for '" << stem << "' (" << refs
+          << " measured refs, capacities scaled by 2^-" << opt.scale_shift
+          << "):\n";
+  if (!json_to_stdout) print(t, opt.csv, out);
+
+  if (!opt.out.empty()) {
+    io::Json doc = io::Json::object();
+    doc.set("format", "fpr-trace-profile");
+    doc.set("version", std::uint64_t{1});
+    io::Json tj = io::Json::object();
+    tj.set("file", path);
+    tj.set("records", info.records);
+    tj.set("digest", fmt_hex64(info.digest));
+    tj.set("refs", refs);
+    tj.set("warmup", opt.warmup);
+    tj.set("scale_shift", opt.scale_shift);
+    tj.set("touched_lines", info.touched_lines);
+    tj.set("working_set_bytes", info.working_set_bytes());
+    doc.set("trace", std::move(tj));
+    doc.set("machines", std::move(machines_json));
+    if (json_to_stdout) {
+      out << io::dump(doc) << "\n";
+    } else {
+      io::save_file(opt.out, doc);
+      err << "[fpr] wrote " << opt.out << "\n";
+    }
+  }
+  const auto cs = cache->stats();
+  err << "[fpr] trace cache: " << cs.hits << " hit(s), " << cs.misses
+      << " replay(s)\n";
+  return 0;
+}
+
 /// Formats diff values across the wildly varying metric magnitudes.
 std::string fmt_g(double v) {
   char buf[40];
@@ -953,11 +1138,6 @@ void diff_explore(DiffReport& d, const study::ExploreResults& a,
   }
 }
 
-// `fpr diff` exit code for a missing/unreadable input file — distinct
-// from 1 (metrics over tolerance / runtime error) and 2 (usage error)
-// so scripts can tell "results regressed" from "results never arrived".
-constexpr int kExitDiffBadInput = 3;
-
 int cmd_diff(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   if (opt.positional.size() != 2) {
     return usage_error(err, "diff needs exactly two results files");
@@ -967,7 +1147,7 @@ int cmd_diff(const RunOptions& opt, std::ostream& out, std::ostream& err) {
     if (!probe) {
       err << "fpr diff: cannot read input file '" << path
           << "': missing or unreadable\n";
-      return kExitDiffBadInput;
+      return kExitBadInput;
     }
   }
   const auto ja = io::load_file(opt.positional[0]);
@@ -1081,9 +1261,18 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         opt.kernel_jobs = number(parse_worker_count);
       } else if (arg == "--trace-refs" || arg == "--refs") {
         opt.trace_refs = number(parse_u64);
+        opt.refs_explicit = true;
         if (opt.trace_refs == 0) {
           return usage_error(err, arg + " must be > 0");
         }
+      } else if (arg == "--warmup") {
+        opt.warmup = number(parse_u64);
+      } else if (arg == "--machine" || arg == "--machines") {
+        auto parts = split_csv(value());
+        if (parts.empty()) {
+          return usage_error(err, arg + " needs at least one machine name");
+        }
+        for (auto& m : parts) opt.machines.push_back(std::move(m));
       } else if (arg == "--shard-jobs") {
         opt.shard_jobs = number(parse_worker_count);
       } else if (arg == "--scale-shift") {
@@ -1154,8 +1343,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
   }
 
-  // Only diff takes non-option arguments (its two input files).
-  if (command != "diff" && !opt.positional.empty()) {
+  // Only diff (two input files) and trace (one trace file) take
+  // non-option arguments.
+  if (command != "diff" && command != "trace" && !opt.positional.empty()) {
     return usage_error(err,
                        "unexpected argument '" + opt.positional.front() + "'");
   }
@@ -1166,6 +1356,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "run") return cmd_run(opt, out, err);
     if (command == "study") return cmd_study(opt, out, err);
     if (command == "memsim") return cmd_memsim(opt, out, err);
+    if (command == "trace") return cmd_trace(opt, out, err);
     if (command == "explore") return cmd_explore(opt, out, err);
     if (command == "pareto") return cmd_pareto(opt, out, err);
     if (command == "diff") return cmd_diff(opt, out, err);

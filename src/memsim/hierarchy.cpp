@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "memsim/trace_source.hpp"
 
 namespace fpr::memsim {
 
@@ -119,35 +120,47 @@ constexpr std::size_t kShardBlock = std::size_t{1} << 16;
 
 }  // namespace
 
-HierarchyResult Hierarchy::replay(TraceGenerator& gen, std::uint64_t refs,
+HierarchyResult Hierarchy::replay(TraceSource& src, std::uint64_t refs,
                                   std::uint64_t warmup) {
   for (auto& c : levels_) c.clear();
   std::vector<MemRef> block(kReplayBlock);
   // Per level L, the accesses it sees are level L-1's misses in order,
   // so filtering a whole block level by level replays exactly the same
-  // per-cache access sequences as the scalar reference walk.
-  auto run = [&](std::uint64_t count) {
+  // per-cache access sequences as the scalar reference walk. A finite
+  // source may produce a short block; run() reports how many references
+  // it actually replayed.
+  auto run = [&](std::uint64_t count) -> std::uint64_t {
+    std::uint64_t done = 0;
     while (count > 0) {
-      const std::size_t n =
+      const std::size_t want =
           static_cast<std::size_t>(std::min<std::uint64_t>(count, kReplayBlock));
-      gen.fill(block.data(), n);
+      const std::size_t n = src.fill(block.data(), want);
+      if (n == 0) break;
       std::size_t live = n;
       for (auto& level : levels_) {
         live = level.access_many(block.data(), live);
         if (live == 0) break;
       }
       count -= n;
+      done += n;
     }
+    return done;
   };
   run(warmup);
   for (auto& c : levels_) c.reset_stats();
-  run(refs);
+  const std::uint64_t measured = run(refs);
   HierarchyResult r;
-  r.refs = refs;
+  r.refs = measured;
   for (std::size_t i = 0; i < levels_.size(); ++i) {
     r.levels.push_back({names_[i], levels_[i].stats()});
   }
   return r;
+}
+
+HierarchyResult Hierarchy::replay(TraceGenerator& gen, std::uint64_t refs,
+                                  std::uint64_t warmup) {
+  SyntheticTraceSource src(gen);
+  return replay(static_cast<TraceSource&>(src), refs, warmup);
 }
 
 HierarchyResult Hierarchy::replay_scalar(TraceGenerator& gen,
@@ -178,19 +191,20 @@ void Hierarchy::set_probe_mode(Cache::ProbeMode mode) {
   for (auto& c : levels_) c.set_probe_mode(mode);
 }
 
-HierarchyResult Hierarchy::replay_sharded(TraceGenerator& gen,
+HierarchyResult Hierarchy::replay_sharded(TraceSource& src,
                                           std::uint64_t refs,
                                           std::uint64_t warmup,
                                           ThreadPool& pool,
                                           unsigned shard_jobs) {
-  // Role 0 (the caller) generates the next block while roles 1..W walk
-  // the current one, and the walkers barrier between levels — so every
-  // role must be scheduled simultaneously. Clamp walkers to the pool's
-  // helper-thread count; with no helpers the serial batched replay is
-  // the same computation.
+  // Role 0 (the caller) pulls the next block — generating references or
+  // decoding trace chunks — while roles 1..W walk the current one, and
+  // the walkers barrier between levels — so every role must be
+  // scheduled simultaneously. Clamp walkers to the pool's helper-thread
+  // count; with no helpers the serial batched replay is the same
+  // computation.
   const unsigned walkers =
       std::min(shard_jobs == 0 ? pool.size() : shard_jobs, pool.size());
-  if (walkers == 0) return replay(gen, refs, warmup);
+  if (walkers == 0) return replay(src, refs, warmup);
 
   for (auto& c : levels_) c.clear();
   const std::size_t num_levels = levels_.size();
@@ -227,16 +241,22 @@ HierarchyResult Hierarchy::replay_sharded(TraceGenerator& gen,
     }
   };
 
-  auto run = [&](std::uint64_t count) {
+  auto run = [&](std::uint64_t count) -> std::uint64_t {
+    std::uint64_t done = 0;
     std::size_t n_front =
         static_cast<std::size_t>(std::min<std::uint64_t>(count, kShardBlock));
-    if (n_front == 0) return;
-    gen.fill(front.data(), n_front);
+    if (n_front == 0) return 0;
+    n_front = src.fill(front.data(), n_front);
+    if (n_front == 0) return 0;
     std::fill_n(live.begin(), n_front, std::uint8_t{1});
     count -= n_front;
     while (n_front > 0) {
-      const std::size_t n_back = static_cast<std::size_t>(
+      const std::size_t want_back = static_cast<std::size_t>(
           std::min<std::uint64_t>(count, kShardBlock));
+      // Written by role 0 inside the region, read after the join (the
+      // join's synchronization publishes it); a finite source may hand
+      // back fewer references than asked — or none, ending the loop.
+      std::size_t n_back = 0;
       for (auto& a : arrived) a.store(0, std::memory_order_relaxed);
       const std::size_t n = n_front;
       // participants == items, so every role runs exactly one chunk —
@@ -246,8 +266,8 @@ HierarchyResult Hierarchy::replay_sharded(TraceGenerator& gen,
           [&](std::size_t rb, std::size_t re, unsigned) {
             for (std::size_t role = rb; role < re; ++role) {
               if (role == 0) {
-                if (n_back > 0) {
-                  gen.fill(back.data(), n_back);
+                if (want_back > 0) {
+                  n_back = src.fill(back.data(), want_back);
                   std::fill_n(live_next.begin(), n_back, std::uint8_t{1});
                 }
               } else {
@@ -256,11 +276,13 @@ HierarchyResult Hierarchy::replay_sharded(TraceGenerator& gen,
               }
             }
           });
+      done += n;
       count -= n_back;
       std::swap(front, back);
       std::swap(live, live_next);
       n_front = n_back;
     }
+    return done;
   };
 
   run(warmup);
@@ -268,10 +290,10 @@ HierarchyResult Hierarchy::replay_sharded(TraceGenerator& gen,
   // and the stamp counters (only relative recency matters, exactly as
   // reset_stats() keeps the member counter running in the serial paths).
   std::fill(part_stats.begin(), part_stats.end(), CacheStats{});
-  run(refs);
+  const std::uint64_t measured = run(refs);
 
   HierarchyResult r;
-  r.refs = refs;
+  r.refs = measured;
   for (std::size_t l = 0; l < num_levels; ++l) {
     CacheStats total;
     for (unsigned w = 0; w < walkers; ++w) {
@@ -283,6 +305,16 @@ HierarchyResult Hierarchy::replay_sharded(TraceGenerator& gen,
     r.levels.push_back({names_[l], total});
   }
   return r;
+}
+
+HierarchyResult Hierarchy::replay_sharded(TraceGenerator& gen,
+                                          std::uint64_t refs,
+                                          std::uint64_t warmup,
+                                          ThreadPool& pool,
+                                          unsigned shard_jobs) {
+  SyntheticTraceSource src(gen);
+  return replay_sharded(static_cast<TraceSource&>(src), refs, warmup, pool,
+                        shard_jobs);
 }
 
 AccessPatternSpec scale_spec(const AccessPatternSpec& spec, unsigned shift) {
@@ -342,11 +374,11 @@ HierarchyResult simulate_pattern(const arch::CpuSpec& cpu,
   const AccessPatternSpec scaled = scale_spec(spec, scale_shift);
   // Warm the caches with an equal-length prefix so measured rates are
   // steady-state (cyclic generators otherwise bias toward cold misses).
-  TraceGenerator gen(scaled, seed);
+  SyntheticTraceSource src(scaled, seed);
   if (shards.pool != nullptr) {
-    return h.replay_sharded(gen, refs, refs, *shards.pool, shards.jobs);
+    return h.replay_sharded(src, refs, refs, *shards.pool, shards.jobs);
   }
-  return h.replay(gen, refs, refs);
+  return h.replay(src, refs, refs);
 }
 
 }  // namespace fpr::memsim

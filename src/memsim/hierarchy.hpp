@@ -21,6 +21,8 @@ class ThreadPool;  // common/thread_pool.hpp
 
 namespace fpr::memsim {
 
+class TraceSource;  // memsim/trace_source.hpp
+
 /// Optional sharding of a single replay across a caller-owned worker
 /// pool. Default-constructed (null pool) means serial replay. Sharding
 /// never changes results — per-level statistics are exactly equal for
@@ -63,16 +65,24 @@ class Hierarchy {
   /// for exact geometry in unit tests).
   explicit Hierarchy(const arch::CpuSpec& cpu, unsigned scale_shift = 6);
 
-  /// Replay `refs` references from the generator. Working-set footprints
-  /// in the generator's patterns must be pre-scaled by scaled_bytes().
+  /// Replay up to `refs` references from a source. Working-set
+  /// footprints behind the source must be pre-scaled by scaled_bytes().
   /// The first `warmup` references fill the caches without being
-  /// counted, so the result reflects steady-state hit rates.
+  /// counted, so the result reflects steady-state hit rates. A finite
+  /// source (FileTraceSource) may run dry early; the result's `refs`
+  /// reports the count actually measured.
   ///
-  /// The replay is batched: references are generated in blocks
-  /// (TraceGenerator::fill) and each level filters a whole block to the
+  /// The replay is batched: references are pulled in blocks
+  /// (TraceSource::fill) and each level filters a whole block to the
   /// miss stream the next level consumes (Cache::access_many), hoisting
-  /// generator dispatch and the level loop out of the per-reference
-  /// path. Results are bit-identical to replay_scalar().
+  /// source dispatch and the level loop out of the per-reference path.
+  /// Results are bit-identical to replay_scalar().
+  HierarchyResult replay(TraceSource& src, std::uint64_t refs,
+                         std::uint64_t warmup = 0);
+
+  /// Synthetic convenience: wraps `gen` in a borrowing
+  /// SyntheticTraceSource — same computation, same RNG state advance,
+  /// bit-identical to the source overload.
   HierarchyResult replay(TraceGenerator& gen, std::uint64_t refs,
                          std::uint64_t warmup = 0);
 
@@ -82,17 +92,23 @@ class Hierarchy {
   HierarchyResult replay_scalar(TraceGenerator& gen, std::uint64_t refs,
                                 std::uint64_t warmup = 0);
 
-  /// Sharded replay: blocks are generated serially (trace generation
-  /// stays a strict sequence) and walked by up to `shard_jobs` workers,
-  /// each owning a contiguous disjoint slice of every level's sets, with
-  /// a barrier between levels so level L+1 reads the completed miss
-  /// stream of level L. The next block is generated concurrently with
-  /// the level walks. Per-(level, worker) statistics are summed at the
-  /// end — unsigned sums over disjoint per-set access subsequences, so
-  /// the result is exactly equal to replay()/replay_scalar() for ANY
-  /// worker count. Walkers are clamped to the pool's helper-thread count
-  /// (an in-region barrier needs every role scheduled); a pool with no
+  /// Sharded replay: blocks are pulled serially (a trace is a strict
+  /// sequence — for files, role 0 decodes the next chunk range while the
+  /// walkers walk) and walked by up to `shard_jobs` workers, each owning
+  /// a contiguous disjoint slice of every level's sets, with a barrier
+  /// between levels so level L+1 reads the completed miss stream of
+  /// level L. The next block is pulled concurrently with the level
+  /// walks. Per-(level, worker) statistics are summed at the end —
+  /// unsigned sums over disjoint per-set access subsequences, so the
+  /// result is exactly equal to replay()/replay_scalar() for ANY worker
+  /// count. Walkers are clamped to the pool's helper-thread count (an
+  /// in-region barrier needs every role scheduled); a pool with no
   /// helpers degrades to the serial replay().
+  HierarchyResult replay_sharded(TraceSource& src, std::uint64_t refs,
+                                 std::uint64_t warmup, ThreadPool& pool,
+                                 unsigned shard_jobs = 0);
+
+  /// Synthetic convenience (borrowing SyntheticTraceSource wrapper).
   HierarchyResult replay_sharded(TraceGenerator& gen, std::uint64_t refs,
                                  std::uint64_t warmup, ThreadPool& pool,
                                  unsigned shard_jobs = 0);

@@ -58,20 +58,15 @@ void append_pattern(std::string& out, const Pattern& p) {
   out += '}';
 }
 
-}  // namespace
-
-std::string SimCache::key(const arch::CpuSpec& cpu,
-                          const AccessPatternSpec& spec, std::uint64_t refs,
-                          std::uint64_t seed, unsigned scale_shift) {
-  std::string k;
-  k.reserve(160);
-  // Machine part: exactly the fields Hierarchy's geometry derives from,
-  // and nothing else. The short name is deliberately absent: a replay is
-  // a pure function of the geometry, so derived machine variants
-  // (arch::derive_variant) that leave the cache hierarchy untouched —
-  // bandwidth, TDP, or FPU respins — share their base machine's
-  // simulations, while any geometry edit (cores, capacities,
-  // associativities) changes the key and cannot alias old results.
+/// Machine part shared by key() and trace_key(): exactly the fields
+/// Hierarchy's geometry derives from, and nothing else. The short name
+/// is deliberately absent: a replay is a pure function of the geometry,
+/// so derived machine variants (arch::derive_variant) that leave the
+/// cache hierarchy untouched — bandwidth, TDP, or FPU respins — share
+/// their base machine's simulations, while any geometry edit (cores,
+/// capacities, associativities) changes the key and cannot alias old
+/// results.
+void append_geometry(std::string& k, const arch::CpuSpec& cpu) {
   append_u64(k, static_cast<std::uint64_t>(cpu.cores));
   append_u64(k, static_cast<std::uint64_t>(cpu.l1_kib));
   append_u64(k, static_cast<std::uint64_t>(cpu.l1_assoc));
@@ -80,6 +75,16 @@ std::string SimCache::key(const arch::CpuSpec& cpu,
   append_u64(k, static_cast<std::uint64_t>(cpu.llc_assoc));
   append_f(k, cpu.llc_mib);
   append_f(k, cpu.mcdram_gib);
+}
+
+}  // namespace
+
+std::string SimCache::key(const arch::CpuSpec& cpu,
+                          const AccessPatternSpec& spec, std::uint64_t refs,
+                          std::uint64_t seed, unsigned scale_shift) {
+  std::string k;
+  k.reserve(160);
+  append_geometry(k, cpu);
   // Simulation part.
   k += '|';
   append_u64(k, refs);
@@ -90,6 +95,23 @@ std::string SimCache::key(const arch::CpuSpec& cpu,
     append_pattern(k, c.pattern);
     append_f(k, c.weight);
   }
+  return k;
+}
+
+std::string SimCache::trace_key(const arch::CpuSpec& cpu,
+                                std::uint64_t digest, std::uint64_t refs,
+                                std::uint64_t warmup, unsigned scale_shift) {
+  std::string k;
+  k.reserve(120);
+  append_geometry(k, cpu);
+  // Trace part. The leading tag keeps this section disjoint from key()'s
+  // (whose post-geometry section starts with a digit), so a file replay
+  // can never alias a synthetic one.
+  k += "|trace-digest;";
+  append_u64(k, digest);
+  append_u64(k, refs);
+  append_u64(k, warmup);
+  append_u64(k, scale_shift);
   return k;
 }
 

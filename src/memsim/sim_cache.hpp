@@ -38,6 +38,17 @@ class SimCache {
                          const AccessPatternSpec& spec, std::uint64_t refs,
                          std::uint64_t seed, unsigned scale_shift);
 
+  /// Digest of a file-backed replay: the same geometry prefix as key(),
+  /// then the trace's content digest (io::TraceInfo::digest — a pure
+  /// function of the record stream, independent of chunking or file
+  /// path) plus the measured/warmup lengths and the capacity scale.
+  /// Disjoint from every pattern key by construction (the section after
+  /// the geometry starts with a "trace-digest" tag no pattern spelling
+  /// produces), so file and synthetic replays share one SimCache safely.
+  static std::string trace_key(const arch::CpuSpec& cpu, std::uint64_t digest,
+                               std::uint64_t refs, std::uint64_t warmup,
+                               unsigned scale_shift);
+
   /// Cached lookup, counting a hit; nullptr (and a counted miss) when
   /// absent.
   [[nodiscard]] std::shared_ptr<const HierarchyResult> find(

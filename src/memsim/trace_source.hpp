@@ -1,0 +1,101 @@
+// TraceSource: the reference-stream abstraction the replay pipeline
+// consumes. Hierarchy::replay/replay_sharded pull fixed-size blocks from
+// a TraceSource; where those blocks come from — the synthetic
+// TraceGenerator mixtures or an on-disk fpr-trace file — is the source's
+// business. SyntheticTraceSource is a zero-cost wrapper over
+// TraceGenerator (same fill(), bit-identical sequences, so every golden
+// snapshot is unchanged); FileTraceSource streams the chunked decode of
+// a recorded trace, which is how `fpr trace` replays real workloads
+// through the same Hierarchy/SimCache/model pipeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "arch/cpu_spec.hpp"
+#include "io/trace_format.hpp"
+#include "memsim/hierarchy.hpp"
+#include "memsim/sim_cache.hpp"
+#include "memsim/trace_gen.hpp"
+
+namespace fpr::memsim {
+
+/// Bounded pull interface over a reference stream. fill() produces up to
+/// `n` references; a short (possibly zero) return means the stream is
+/// exhausted and every later call returns 0. Synthetic sources are
+/// infinite and always produce exactly `n`.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual std::size_t fill(MemRef* out, std::size_t n) = 0;
+};
+
+/// Infinite synthetic source over a TraceGenerator. Owning (constructed
+/// from a spec + seed) or borrowing (wrapping a caller's generator whose
+/// RNG state advances through this source) — either way fill() is
+/// exactly TraceGenerator::fill, so the emitted sequence is bit-identical
+/// to driving the generator directly.
+class SyntheticTraceSource final : public TraceSource {
+ public:
+  SyntheticTraceSource(const AccessPatternSpec& spec, std::uint64_t seed)
+      : owned_(TraceGenerator(spec, seed)), gen_(&*owned_) {}
+  explicit SyntheticTraceSource(TraceGenerator& gen) : gen_(&gen) {}
+
+  std::size_t fill(MemRef* out, std::size_t n) override {
+    gen_->fill(out, n);
+    return n;
+  }
+
+ private:
+  std::optional<TraceGenerator> owned_;
+  TraceGenerator* gen_;
+};
+
+/// Streaming decode of an on-disk fpr-trace file (io::TraceReader).
+/// Finite: fill() returns short once the file's records are consumed.
+/// Construction and decoding throw io::TraceFormatError on missing,
+/// wrong-magic, or truncated files.
+class FileTraceSource final : public TraceSource {
+ public:
+  explicit FileTraceSource(const std::string& path) : reader_(path) {}
+
+  std::size_t fill(MemRef* out, std::size_t n) override {
+    return reader_.read(out, n);
+  }
+
+  [[nodiscard]] const io::TraceInfo& info() const { return reader_.info(); }
+
+ private:
+  io::TraceReader reader_;
+};
+
+/// Replay an arbitrary source through a scaled hierarchy for `cpu`:
+/// the trace-file counterpart of simulate_pattern. `warmup` references
+/// fill the caches uncounted, then up to `refs` are measured (fewer if
+/// the source runs dry — the result's `refs` reports the measured
+/// count). `scale_shift` shrinks the cache capacities only; recorded
+/// addresses replay as-is, so replay a recorded synthetic trace at the
+/// shift it was recorded with. `shards` spreads the walk across a
+/// caller-owned pool exactly as for synthetic replays; results are
+/// identical for every setting.
+HierarchyResult simulate_trace(const arch::CpuSpec& cpu, TraceSource& src,
+                               std::uint64_t refs, std::uint64_t warmup,
+                               unsigned scale_shift = 0,
+                               const ShardPlan& shards = {});
+
+/// simulate_trace over a trace file with memoization: the replay keys by
+/// (hierarchy geometry, trace content digest, refs, warmup, scale
+/// shift) — see SimCache::trace_key — so repeated scorings of one trace
+/// across machines/commands decode and simulate once per distinct
+/// geometry. Bit-identical with or without a cache; `shards` is a pure
+/// wall-time choice and deliberately not part of the key. Throws
+/// io::TraceFormatError on unreadable or malformed files.
+HierarchyResult replay_trace_cached(SimCache* cache, const arch::CpuSpec& cpu,
+                                    const std::string& path,
+                                    std::uint64_t refs, std::uint64_t warmup,
+                                    unsigned scale_shift = 0,
+                                    const ShardPlan& shards = {});
+
+}  // namespace fpr::memsim

@@ -104,4 +104,44 @@ MemoryProfile profile_memory(const arch::CpuSpec& cpu,
   return mp;
 }
 
+MemoryProfile profile_trace(const arch::CpuSpec& cpu,
+                            const memsim::HierarchyResult& res,
+                            std::uint64_t working_set_bytes,
+                            double streaming_fraction) {
+  MemoryProfile mp;
+  mp.l2_hit = res.hit_rate("L2");
+  mp.llc_hit = cpu.has_mcdram() ? res.hit_rate("MCDRAM$")
+                                : res.hit_rate("LLC");
+
+  // Same off-chip split as profile_memory (see there), but the byte
+  // terms are exact: the replay counted every reference, each modelling
+  // an 8-byte access whose miss moves a 64-byte line.
+  const double past_l2 = 1.0 - res.served_at_or_above("L2");
+  const double past_last = res.dram_fraction();
+  mp.offchip_fraction = cpu.has_mcdram() ? past_l2 : past_last;
+
+  const double trace_bytes = static_cast<double>(res.refs) * 8.0;
+  mp.offchip_bytes = trace_bytes * mp.offchip_fraction * 8.0;
+  mp.dram_bytes = trace_bytes * past_last * 8.0;
+
+  if (cpu.has_mcdram()) {
+    mp.mcdram_capture = past_l2 > 0.0
+                            ? std::clamp(1.0 - past_last / past_l2, 0.0, 1.0)
+                            : 1.0;
+  } else {
+    mp.mcdram_capture = 0.0;
+  }
+
+  const auto bw = memsim::effective_bandwidth(
+      cpu, working_set_bytes, mp.mcdram_capture, streaming_fraction);
+  mp.effective_bw_gbs = bw.effective_gbs;
+  mp.latency_ns = memsim::effective_latency_ns(cpu, working_set_bytes,
+                                               mp.mcdram_capture);
+
+  // No instruction mix: the dependent-reference share is unknowable
+  // from an address trace alone.
+  mp.dep_refs = 0.0;
+  return mp;
+}
+
 }  // namespace fpr::model

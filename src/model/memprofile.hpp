@@ -57,4 +57,18 @@ MemoryProfile profile_memory(const arch::CpuSpec& cpu,
                              memsim::SimCache* cache = nullptr,
                              const memsim::ShardPlan& shards = {});
 
+/// Profile a replayed external trace (`fpr trace --out`): the same
+/// derived quantities as profile_memory, but the traffic terms come
+/// straight from the replay — each trace reference models an 8-byte
+/// access and a miss moves a 64-byte line — and the working set is the
+/// trace's touched-line footprint (io::TraceInfo::working_set_bytes).
+/// An external trace carries no instruction mix, so the
+/// dependent-reference serialization term is 0 and `streaming_fraction`
+/// (the share of off-chip misses prefetchers can stream at the full DDR
+/// rate) defaults to fully streamable.
+MemoryProfile profile_trace(const arch::CpuSpec& cpu,
+                            const memsim::HierarchyResult& res,
+                            std::uint64_t working_set_bytes,
+                            double streaming_fraction = 1.0);
+
 }  // namespace fpr::model

@@ -15,11 +15,16 @@
 #include <string>
 #include <vector>
 
+#include "arch/machines.hpp"
 #include "cli/cli.hpp"
 #include "io/explore_json.hpp"
 #include "io/pareto_json.hpp"
 #include "io/study_json.hpp"
+#include "io/trace_format.hpp"
 #include "kernels/kernel.hpp"
+#include "memsim/hierarchy.hpp"
+#include "memsim/trace_gen.hpp"
+#include "model/memprofile.hpp"
 
 namespace fpr::cli {
 namespace {
@@ -488,6 +493,126 @@ TEST(Cli, MemsimShardJobsIsByteIdenticalToSerial) {
   ASSERT_EQ(serial.code, 0) << serial.err;
   ASSERT_EQ(sharded.code, 0) << sharded.err;
   EXPECT_EQ(serial.out, sharded.out);
+}
+
+// ---------------------------------------------------------------------
+// fpr trace
+
+/// Record the exact reference stream `fpr memsim` simulates for
+/// (kernel, machine) to `path`: warmup-refs prefix plus refs measured
+/// records, as `fpr-trace record` does.
+void record_kernel_trace(const std::string& path, const std::string& kernel,
+                         const arch::CpuSpec& cpu, std::uint64_t refs,
+                         unsigned scale_shift) {
+  kernels::RunConfig rc;
+  rc.scale = 0.15;
+  const auto meas = kernels::make(kernel)->run(rc);
+  const auto sliced = model::per_core_slice(meas.access, cpu.cores);
+  const auto scaled = memsim::scale_spec(sliced, scale_shift);
+  memsim::TraceGenerator gen(scaled, model::kProfileSeed);
+  io::TraceWriter w(path);
+  std::vector<memsim::MemRef> block(1024);
+  for (std::uint64_t done = 0; done < 2 * refs;) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(block.size(), 2 * refs - done));
+    gen.fill(block.data(), n);
+    w.append(block.data(), n);
+    done += n;
+  }
+  w.finish();
+}
+
+/// Strip the first CSV column (Kernel/Trace label) off every row.
+std::string drop_first_column(const std::string& csv) {
+  std::string out;
+  std::istringstream in(csv);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) continue;
+    out += line.substr(comma + 1);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(Cli, TraceReplayMatchesMemsimRowBitForBit) {
+  TempFile tmp("trace");
+  record_kernel_trace(tmp.path(), "BABL2", arch::knl(), 20000, 8);
+  const auto trace = run({"trace", tmp.path(), "--machine", "KNL",
+                          "--warmup", "20000", "--csv"});
+  ASSERT_EQ(trace.code, 0) << trace.err;
+  const auto memsim = run({"memsim", "--kernel", "BABL2", "--scale", "0.15",
+                           "--refs", "20000", "--csv"});
+  ASSERT_EQ(memsim.code, 0) << memsim.err;
+  // Same columns after the leading label, so the KNL rows must be
+  // byte-identical: the file replay IS the synthetic replay.
+  std::string memsim_knl;
+  std::istringstream in(drop_first_column(memsim.out));
+  for (std::string line; std::getline(in, line);) {
+    if (line.rfind("KNL,", 0) == 0) memsim_knl = line + "\n";
+  }
+  ASSERT_FALSE(memsim_knl.empty());
+  const auto trace_rows = drop_first_column(trace.out);
+  EXPECT_NE(trace_rows.find(memsim_knl), std::string::npos)
+      << "trace: " << trace_rows << "memsim: " << memsim_knl;
+}
+
+TEST(Cli, TraceShardJobsIsByteIdenticalToSerial) {
+  TempFile tmp("trace_shard");
+  record_kernel_trace(tmp.path(), "BABL2", arch::knl(), 15000, 8);
+  const auto serial = run({"trace", tmp.path(), "--warmup", "15000"});
+  const auto sharded = run({"trace", tmp.path(), "--warmup", "15000",
+                            "--shard-jobs", "2", "--threads", "3"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  ASSERT_EQ(sharded.code, 0) << sharded.err;
+  EXPECT_EQ(serial.out, sharded.out);
+}
+
+TEST(Cli, TraceWritesProfileJson) {
+  TempFile tmp("trace_json");
+  TempFile out("trace_profile");
+  record_kernel_trace(tmp.path(), "BABL2", arch::knl(), 10000, 8);
+  const auto r = run({"trace", tmp.path(), "--warmup", "10000", "--out",
+                      out.path()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto doc = io::load_file(out.path());
+  EXPECT_EQ(doc.at("format").as_string(), "fpr-trace-profile");
+  EXPECT_EQ(doc.at("version").as_u64(), 1u);
+  EXPECT_EQ(doc.at("trace").at("refs").as_u64(), 10000u);
+  const auto& machines = doc.at("machines").as_array();
+  ASSERT_EQ(machines.size(), 3u);  // all Table I machines by default
+  EXPECT_EQ(machines[0].at("machine").as_string(), "KNL");
+  // The memory profile carries the study_json MemoryProfile schema.
+  EXPECT_TRUE(machines[0].at("mem").find("l2_hit") != nullptr ||
+              machines[0].at("mem").is_object());
+}
+
+TEST(Cli, TraceRejectsBadUsage) {
+  TempFile tmp("trace_usage");
+  record_kernel_trace(tmp.path(), "BABL2", arch::knl(), 1000, 8);
+  EXPECT_EQ(run({"trace"}).code, 2);  // missing file
+  EXPECT_EQ(run({"trace", tmp.path(), "extra.fpt"}).code, 2);
+  EXPECT_EQ(run({"trace", tmp.path(), "--refs", "0"}).code, 2);
+  EXPECT_EQ(run({"trace", tmp.path(), "--refs", "-5"}).code, 2);
+  EXPECT_EQ(run({"trace", tmp.path(), "--machine", "VAX"}).code, 2);
+  // Warmup swallowing the whole file leaves nothing to measure.
+  EXPECT_EQ(run({"trace", tmp.path(), "--warmup", "2000"}).code, 2);
+}
+
+TEST(Cli, TraceBadInputExitsThree) {
+  const auto missing = run({"trace", "/nonexistent/trace.fpt"});
+  EXPECT_EQ(missing.code, 3);
+  EXPECT_NE(missing.err.find("missing or unreadable"), std::string::npos);
+
+  TempFile junk("trace_junk");
+  {
+    std::ofstream f(junk.path(), std::ios::binary);
+    f << "definitely not an fpr-trace file, but long enough to read";
+  }
+  const auto bad = run({"trace", junk.path()});
+  EXPECT_EQ(bad.code, 3);
+  EXPECT_NE(bad.err.find("bad magic"), std::string::npos);
 }
 
 TEST(Cli, StudyRejectsBadOptions) {

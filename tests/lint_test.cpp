@@ -98,8 +98,10 @@ TEST(NondeterministicCall, FiresOnEachBannedPattern) {
 
 TEST(NondeterministicCall, ScopedToDeterminismSensitiveDirs) {
   const std::string text = "auto t = std::chrono::steady_clock::now();\n";
+  // src/io is in scope too: trace/results codecs feed the deterministic
+  // pipeline (digests, golden snapshots) and must not read clocks.
   for (const char* dir : {"src/memsim/", "src/model/", "src/study/",
-                          "src/arch/"}) {
+                          "src/arch/", "src/io/"}) {
     EXPECT_TRUE(fired(lint_source(std::string(dir) + "x.cpp", text),
                       "nondeterministic-call"))
         << dir;
@@ -202,11 +204,19 @@ TEST(NakedNew, FiresOnNewAndMallocInHotPaths) {
       "naked-new"));
 }
 
-TEST(NakedNew, ScopedToKernelsAndMemsimOnly) {
+TEST(NakedNew, ScopedToKernelsMemsimAndIo) {
   const std::string text = "void f() { int* p = new int; }\n";
   EXPECT_FALSE(fired(lint_source("src/counters/registry.cpp", text),
                      "naked-new"));
-  EXPECT_FALSE(fired(lint_source("src/io/json.cpp", text), "naked-new"));
+  EXPECT_FALSE(fired(lint_source("src/cli/cli.cpp", text), "naked-new"));
+  // src/io is hot-path territory since the trace codec: chunk buffers
+  // must be vectors, not raw allocations.
+  EXPECT_TRUE(fired(lint_source("src/io/trace_format.cpp", text),
+                    "naked-new"));
+  EXPECT_TRUE(fired(
+      lint_source("src/io/trace_format.cpp",
+                  "void f() { void* p = malloc(64); use(p); }\n"),
+      "naked-new"));
 }
 
 TEST(NakedNew, DeletedFunctionsAndCommentsDoNotFire) {

@@ -28,7 +28,7 @@ constexpr RuleInfo kRules[] = {
      "ExecutionContext-owned pool so kernel runs stay isolated"},
     {"nondeterministic-call",
      "wall-clock/system-entropy call in a determinism-sensitive path "
-     "(src/{memsim,model,study,arch}); take seeds and timestamps as "
+     "(src/{memsim,model,study,arch,io}); take seeds and timestamps as "
      "parameters (common/rng.hpp) so results replay bit-identically"},
     {"counters-without-context",
      "legacy process-wide counter registry access outside src/counters; "
@@ -38,7 +38,7 @@ constexpr RuleInfo kRules[] = {
      "mutable namespace-scope state in src/; scope it to a run "
      "(ExecutionContext) or make it const/constexpr"},
     {"naked-new",
-     "naked allocation in a kernel/memsim hot path; use "
+     "naked allocation in a kernel/memsim/io hot path; use "
      "AlignedBuffer/std::vector so buffers are sized once and reused"},
     {"pragma-once",
      "header under src/ lacks #pragma once; every header must be "
@@ -447,7 +447,8 @@ std::vector<Finding> lint_source(const std::string& path,
 
   if (on("nondeterministic-call") &&
       (starts_with(rel, "src/memsim/") || starts_with(rel, "src/model/") ||
-       starts_with(rel, "src/study/") || starts_with(rel, "src/arch/"))) {
+       starts_with(rel, "src/study/") || starts_with(rel, "src/arch/") ||
+       starts_with(rel, "src/io/"))) {
     static const std::regex re(
         R"(\b(?:rand|srand|clock|time|gettimeofday)\s*\()"
         R"(|\brandom_device\b)"
@@ -466,7 +467,8 @@ std::vector<Finding> lint_source(const std::string& path,
   }
 
   if (on("naked-new") && (starts_with(rel, "src/kernels/") ||
-                          starts_with(rel, "src/memsim/"))) {
+                          starts_with(rel, "src/memsim/") ||
+                          starts_with(rel, "src/io/"))) {
     static const std::regex re(
         R"(\bnew\b|\b(?:malloc|calloc|realloc|strdup|aligned_alloc)\s*\()");
     scan_pattern(p, re, path, "naked-new",
