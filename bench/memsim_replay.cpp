@@ -46,6 +46,7 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "io/trace_format.hpp"
+#include "io/trace_replay.hpp"
 #include "memsim/cache.hpp"
 #include "memsim/hierarchy.hpp"
 #include "memsim/trace_gen.hpp"
@@ -393,7 +394,7 @@ int main(int argc, char** argv) {
     WallTimer tf;
     HierarchyResult rf;
     {
-      FileTraceSource fsrc(trace_path);
+      io::FileTraceSource fsrc(trace_path);
       rf = hf.replay(fsrc, refs, refs);
     }
     const double file_s = tf.seconds();

@@ -20,6 +20,7 @@
 #include "io/pareto_json.hpp"
 #include "io/study_json.hpp"
 #include "io/trace_format.hpp"
+#include "io/trace_replay.hpp"
 #include "kernels/kernel.hpp"
 #include "memsim/trace_source.hpp"
 #include "model/exec_model.hpp"
@@ -226,7 +227,7 @@ void print(const TextTable& t, bool csv, std::ostream& out) {
 
 int usage_error(std::ostream& err, const std::string& message) {
   err << "fpr: " << message << "\n" << kUsage;
-  return 2;
+  return kExitUsage;
 }
 
 int cmd_list(bool csv, std::ostream& out) {
@@ -247,14 +248,14 @@ int cmd_list(bool csv, std::ostream& out) {
         .done();
   }
   print(t, csv, out);
-  return 0;
+  return kExitOk;
 }
 
 int cmd_tables(bool csv, std::ostream& out) {
   print(study::table1_hardware(), csv, out);
   print(study::table2_categorization(), csv, out);
   print(study::table3_metrics(), csv, out);
-  return 0;
+  return kExitOk;
 }
 
 /// Fig. 1-style operation-mix row for one measured kernel.
@@ -380,7 +381,7 @@ int cmd_run(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   print(opmix, opt.csv, out);
   heading << "Machine projection + roofline placement:\n";
   print(projection, opt.csv, out);
-  return 0;
+  return kExitOk;
 }
 
 int cmd_study(const RunOptions& opt, std::ostream& out, std::ostream& err) {
@@ -448,7 +449,7 @@ int cmd_study(const RunOptions& opt, std::ostream& out, std::ostream& err) {
       err << "[fpr] wrote " << opt.out << "\n";
     }
   }
-  return 0;
+  return kExitOk;
 }
 
 /// `fpr explore`: the Sec. VII what-if sweep — derive variants of a base
@@ -541,7 +542,7 @@ int cmd_explore(const RunOptions& opt, std::ostream& out, std::ostream& err) {
       err << "[fpr] wrote " << opt.out << "\n";
     }
   }
-  return 0;
+  return kExitOk;
 }
 
 /// `fpr pareto`: the design-space search — compose derive_variant
@@ -623,7 +624,7 @@ int cmd_pareto(const RunOptions& opt, std::ostream& out, std::ostream& err) {
       err << "[fpr] wrote " << opt.out << "\n";
     }
   }
-  return 0;
+  return kExitOk;
 }
 
 /// `fpr memsim`: expose the hierarchy simulation directly — one row per
@@ -688,14 +689,8 @@ int cmd_memsim(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   const auto cs = cache->stats();
   err << "[fpr] memsim cache: " << cs.hits << " hit(s), " << cs.misses
       << " simulation(s)\n";
-  return 0;
+  return kExitOk;
 }
-
-// Exit code for a missing/unreadable/malformed input file (`fpr diff`
-// results, `fpr trace` traces) — distinct from 1 (metrics over
-// tolerance / runtime error) and 2 (usage error) so scripts can tell
-// "results regressed" from "results never arrived".
-constexpr int kExitBadInput = 3;
 
 std::string fmt_hex64(std::uint64_t v) {
   char buf[20];
@@ -783,7 +778,7 @@ int cmd_trace(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   io::Json machines_json = io::Json::array();
   try {
     for (const auto& cpu : machines) {
-      const auto res = memsim::replay_trace_cached(
+      const auto res = io::replay_trace_cached(
           cache, cpu, path, refs, opt.warmup, opt.scale_shift, shards);
       const std::string last = cpu.has_mcdram() ? "MCDRAM$" : "LLC";
       t.row()
@@ -851,7 +846,7 @@ int cmd_trace(const RunOptions& opt, std::ostream& out, std::ostream& err) {
   const auto cs = cache->stats();
   err << "[fpr] trace cache: " << cs.hits << " hit(s), " << cs.misses
       << " replay(s)\n";
-  return 0;
+  return kExitOk;
 }
 
 /// Formats diff values across the wildly varying metric magnitudes.
@@ -1195,7 +1190,7 @@ int cmd_diff(const RunOptions& opt, std::ostream& out, std::ostream& err) {
           << " metric(s) compared, " << d.exceeding()
           << " exceeding tolerance " << fmt_g(opt.tolerance)
           << " (max relative delta " << fmt_g(d.max_delta()) << ")\n";
-  return d.ok() ? 0 : 1;
+  return d.ok() ? kExitOk : kExitFailure;
 }
 
 }  // namespace
@@ -1206,7 +1201,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   if (command == "help" || command == "--help" || command == "-h") {
     out << kUsage;
-    return 0;
+    return kExitOk;
   }
 
   RunOptions opt;
@@ -1362,7 +1357,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "diff") return cmd_diff(opt, out, err);
   } catch (const std::exception& e) {
     err << "fpr: error: " << e.what() << "\n";
-    return 1;
+    return kExitFailure;
   }
   return usage_error(err, "unknown command '" + command + "'");
 }

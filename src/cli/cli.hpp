@@ -17,9 +17,19 @@
 
 namespace fpr::cli {
 
+/// Process exit codes, shared by every fpr subcommand (and mirrored by
+/// the standalone tools). Named so exit-path meaning stays greppable —
+/// the bare-exit-code lint rule rejects integer literals in `return`
+/// statements of command handlers.
+inline constexpr int kExitOk = 0;        ///< command succeeded
+inline constexpr int kExitFailure = 1;   ///< ran, but failed (I/O, verify)
+inline constexpr int kExitUsage = 2;     ///< bad flags / unknown command
+inline constexpr int kExitBadInput = 3;  ///< well-formed flags, bad data
+
 /// Execute the `fpr` command line. `args` excludes the program name.
 /// Normal output goes to `out`, diagnostics/usage errors to `err`.
-/// Returns the process exit code (0 ok, 2 usage error, 1 runtime error).
+/// Returns the process exit code (kExitOk, kExitUsage on usage errors,
+/// kExitFailure on runtime errors, kExitBadInput on malformed inputs).
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
 

@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+// Composition-root exception, mirroring the counters/sink.hpp edge in
+// the header: the context *owns* the run's SimCache lease, and only
+// this .cpp needs the complete type (the header forward-declares it).
+// fpr-lint: allow(layer-violation)
 #include "memsim/sim_cache.hpp"
 
 namespace fpr {

@@ -19,6 +19,12 @@
 #include <memory>
 
 #include "common/thread_pool.hpp"
+// ExecutionContext is the composition root: the one place that bundles
+// a pool with a counter sink so every higher layer can take "the run's
+// context" instead of wiring the two by hand. That makes this edge into
+// counters/ deliberate — the alternative (a context type per layer)
+// would duplicate the lease/region machinery everywhere.
+// fpr-lint: allow(layer-violation)
 #include "counters/sink.hpp"
 
 namespace fpr::memsim {

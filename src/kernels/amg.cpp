@@ -102,7 +102,7 @@ Amg::Amg()
           .paper_input = "problem 1: 27-point stencil, 3-D linear system",
       }) {}
 
-model::WorkloadMeasurement Amg::run(ExecutionContext& ctx,
+WorkloadMeasurement Amg::run(ExecutionContext& ctx,
                                     const RunConfig& cfg) const {
   const std::uint64_t d0 = scaled_dim(kRunDim, cfg.scale);
   const unsigned workers =
@@ -304,7 +304,7 @@ model::WorkloadMeasurement Amg::run(ExecutionContext& ctx,
   ms.writes_per_iter = 0;
   access.components.push_back({ms, 0.7});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.040;  // calibrated: ~2.5x Table IV achieved rate;
                        // this kernel is memory-bound on BDW (high
                        // MBd in Table IV), so the memory term binds

@@ -29,7 +29,7 @@ BabelStream::BabelStream(double paper_gib)
       }),
       paper_gib_(paper_gib) {}
 
-model::WorkloadMeasurement BabelStream::run(ExecutionContext& ctx,
+WorkloadMeasurement BabelStream::run(ExecutionContext& ctx,
                                             const RunConfig& cfg) const {
   const std::size_t n = scaled_n(kRunN, cfg.scale);
   AlignedBuffer<double> a(n, 0.1), b(n, 0.2), c(n, 0.0);
@@ -115,7 +115,7 @@ model::WorkloadMeasurement BabelStream::run(ExecutionContext& ctx,
   pat.arrays = 3;
   pat.writes_per_iter = 1;
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.85;   // stream kernels vectorize perfectly but are BW-bound
   traits.int_eff = 0.85;
   traits.serial_fraction = 0.0;

@@ -15,7 +15,7 @@ class BabelStream final : public KernelBase {
   explicit BabelStream(double paper_gib);
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   /// Host-measured Triad bandwidth (GB/s) — used by the Table I bench to

@@ -91,7 +91,7 @@ Candle::Candle()
           .paper_input = "P1B1 autoencoder on gene expression data",
       }) {}
 
-model::WorkloadMeasurement Candle::run(ExecutionContext& ctx,
+WorkloadMeasurement Candle::run(ExecutionContext& ctx,
                                        const RunConfig& cfg) const {
   const std::uint64_t in = scaled_n(kIn, std::sqrt(cfg.scale));
   const std::uint64_t hid = scaled_n(kHidden, std::sqrt(cfg.scale));
@@ -215,7 +215,7 @@ model::WorkloadMeasurement Candle::run(ExecutionContext& ctx,
   pat.tile_bytes = 512 * 1024;
   pat.tile_reuse = 24.0;
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.067;  // calibrated: Table IV achieved rate
                           // fully utilize the chip (Sec. IV-F)
   traits.int_eff = 0.10;

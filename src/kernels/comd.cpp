@@ -37,7 +37,7 @@ CoMd::CoMd()
           .paper_input = "LJ potential, 256,000 atoms, strong scaling",
       }) {}
 
-model::WorkloadMeasurement CoMd::run(ExecutionContext& ctx,
+WorkloadMeasurement CoMd::run(ExecutionContext& ctx,
                                      const RunConfig& cfg) const {
   const std::uint64_t nc = scaled_dim(kRunCells, cfg.scale);
   const std::uint64_t ncells = nc * nc * nc;
@@ -228,7 +228,7 @@ model::WorkloadMeasurement CoMd::run(ExecutionContext& ctx,
   gp.sequential_fraction = 0.55;  // cell lists give strong locality
   access.components.push_back({gp, 1.0});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.079;  // calibrated: Table IV achieved rate
   traits.int_eff = 0.40;
   traits.phi_vec_penalty = 2.9;   // Table IV: BDW-vs-KNL efficiency ratio

@@ -29,7 +29,7 @@ Ffb::Ffb()
           .paper_input = "3-D cavity flow, 50x50x50 cubes",
       }) {}
 
-model::WorkloadMeasurement Ffb::run(ExecutionContext& ctx,
+WorkloadMeasurement Ffb::run(ExecutionContext& ctx,
                                     const RunConfig& cfg) const {
   const std::uint64_t d = scaled_dim(kRunDim, cfg.scale);
   const std::uint64_t n = d * d * d;
@@ -230,7 +230,7 @@ model::WorkloadMeasurement Ffb::run(ExecutionContext& ctx,
                             .full_box = false};
   access.components.push_back({st, 1.0});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.034;  // calibrated: Table IV achieved rate
   traits.int_eff = 0.35;
   traits.phi_vec_penalty = 4.5;   // Table IV: BDW-vs-KNL efficiency ratio

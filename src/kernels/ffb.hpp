@@ -15,7 +15,7 @@ class Ffb final : public KernelBase {
   Ffb();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   // 50x50x50 cubes of quadratic elements ~ 101^3 FE nodes.

@@ -29,7 +29,7 @@ Ffvc::Ffvc()
           .paper_input = "3-D cavity flow, 144^3 cuboid (FVM)",
       }) {}
 
-model::WorkloadMeasurement Ffvc::run(ExecutionContext& ctx,
+WorkloadMeasurement Ffvc::run(ExecutionContext& ctx,
                                      const RunConfig& cfg) const {
   const std::uint64_t d = scaled_dim(kRunDim, cfg.scale);
   const std::uint64_t n = d * d * d;
@@ -244,7 +244,7 @@ model::WorkloadMeasurement Ffvc::run(ExecutionContext& ctx,
                             .full_box = false};
   access.components.push_back({st, 1.0});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.095;  // calibrated: Table IV achieved rate
   traits.int_eff = 0.50;
   traits.phi_vec_penalty = 2.9;   // Table IV: BDW-vs-KNL efficiency ratio

@@ -14,7 +14,7 @@ class Ffvc final : public KernelBase {
   Ffvc();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperDim = 144;

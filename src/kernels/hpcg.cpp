@@ -112,7 +112,7 @@ Hpcg::Hpcg()
           .paper_input = "360x360x360 global problem, Intel binary",
       }) {}
 
-model::WorkloadMeasurement Hpcg::run(ExecutionContext& ctx,
+WorkloadMeasurement Hpcg::run(ExecutionContext& ctx,
                                      const RunConfig& cfg) const {
   const std::uint64_t d = scaled_dim(kRunDim, cfg.scale);
   const Grid g{d, d, d};
@@ -208,7 +208,7 @@ model::WorkloadMeasurement Hpcg::run(ExecutionContext& ctx,
   matrix_stream.writes_per_iter = 0;
   access.components.push_back({matrix_stream, 0.65});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.080;  // calibrated: ~2.5x Table IV achieved rate;
                        // this kernel is memory-bound on BDW (high
                        // MBd in Table IV), so the memory term binds

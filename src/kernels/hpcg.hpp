@@ -14,7 +14,7 @@ class Hpcg final : public KernelBase {
   Hpcg();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperDim = 360;

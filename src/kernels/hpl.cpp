@@ -36,7 +36,7 @@ Hpl::Hpl()
           .paper_input = "dense Ax=b, N=64512, Intel-optimized binary",
       }) {}
 
-model::WorkloadMeasurement Hpl::run(ExecutionContext& ctx,
+WorkloadMeasurement Hpl::run(ExecutionContext& ctx,
                                     const RunConfig& cfg) const {
   const std::uint64_t n =
       std::max<std::uint64_t>(2 * kBlock, scaled_dim(kRunN, cfg.scale));
@@ -197,7 +197,7 @@ model::WorkloadMeasurement Hpl::run(ExecutionContext& ctx,
   pat.tile_bytes = 192 * 1024;
   pat.tile_reuse = 256.0;
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.92;  // calibrated: Table IV achieved rate
   traits.int_eff = 0.50;
   traits.phi_vec_penalty = 1.35;   // Table IV: BDW-vs-KNL efficiency ratio

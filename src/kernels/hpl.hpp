@@ -14,7 +14,7 @@ class Hpl final : public KernelBase {
   Hpl();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   /// The paper's problem size.

@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "model/workload.hpp"
+#include "kernels/workload.hpp"
 
 namespace fpr {
 class ExecutionContext;
@@ -92,7 +92,7 @@ class ProxyKernel {
   /// into the context's sink, so concurrent runs in separate contexts
   /// are fully isolated. Throws std::runtime_error if self-verification
   /// fails.
-  [[nodiscard]] virtual model::WorkloadMeasurement run(
+  [[nodiscard]] virtual WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const = 0;
 
   /// Convenience: run inside a fresh private context sized to
@@ -100,7 +100,7 @@ class ProxyKernel {
   /// call — callers running kernels repeatedly should construct one
   /// ExecutionContext and use the overload above, as methodology's
   /// repeat loops do.
-  [[nodiscard]] model::WorkloadMeasurement run(const RunConfig& cfg) const;
+  [[nodiscard]] WorkloadMeasurement run(const RunConfig& cfg) const;
 };
 
 /// All kernels in the paper's presentation order (AMG .. HPL, HPCG,

@@ -106,12 +106,12 @@ class SlotReduce {
 };
 
 /// Assemble the common parts of a WorkloadMeasurement.
-inline model::WorkloadMeasurement finish_measurement(
+inline WorkloadMeasurement finish_measurement(
     const KernelInfo& info, const counters::AssayRecorder& rec,
     double ops_scale_to_paper, std::uint64_t paper_working_set,
-    memsim::AccessPatternSpec paper_access, model::KernelTraits traits,
+    memsim::AccessPatternSpec paper_access, KernelTraits traits,
     double checksum) {
-  model::WorkloadMeasurement m;
+  WorkloadMeasurement m;
   m.name = info.abbrev;
   m.ops = rec.ops();
   // Extrapolate measured counts to the paper's input scale.

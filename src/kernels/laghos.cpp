@@ -32,7 +32,7 @@ Laghos::Laghos()
           .paper_input = "2-D Sedov blast wave, default settings",
       }) {}
 
-model::WorkloadMeasurement Laghos::run(ExecutionContext& ctx,
+WorkloadMeasurement Laghos::run(ExecutionContext& ctx,
                                        const RunConfig& cfg) const {
   const std::uint64_t nz = scaled_dim(kRunZones, std::pow(cfg.scale, 1.5));
   const std::uint64_t nn = nz + 1;  // node grid
@@ -195,7 +195,7 @@ model::WorkloadMeasurement Laghos::run(ExecutionContext& ctx,
   gp.sequential_fraction = 0.5;  // structured traversal, indirect corners
   access.components.push_back({gp, 1.0});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.0126;  // calibrated: Table IV achieved rate
                           // ("leaves room for performance tuning")
   traits.int_eff = 0.25;

@@ -25,7 +25,7 @@ MacsIo::MacsIo()
           .paper_input = "433.8 MB written to disk",
       }) {}
 
-model::WorkloadMeasurement MacsIo::run(ExecutionContext& ctx,
+WorkloadMeasurement MacsIo::run(ExecutionContext& ctx,
                                        const RunConfig& cfg) const {
   const std::uint64_t total = scaled_n(kRunBytes, cfg.scale);
 
@@ -84,7 +84,7 @@ model::WorkloadMeasurement MacsIo::run(ExecutionContext& ctx,
   pat.arrays = 2;
   pat.writes_per_iter = 1;
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.05;  // calibrated: Table IV achieved rate
   traits.int_eff = 0.05;
   traits.phi_vec_penalty = 1.0;   // Table IV: BDW-vs-KNL efficiency ratio

@@ -14,7 +14,7 @@ class MacsIo final : public KernelBase {
   MacsIo();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr double kPaperBytes = 433.8e6;

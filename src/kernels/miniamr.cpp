@@ -43,7 +43,7 @@ MiniAmr::MiniAmr()
           .paper_input = "sphere moving diagonally through a cubic medium",
       }) {}
 
-model::WorkloadMeasurement MiniAmr::run(ExecutionContext& ctx,
+WorkloadMeasurement MiniAmr::run(ExecutionContext& ctx,
                                         const RunConfig& cfg) const {
   const std::uint64_t root = scaled_dim(kRunRoot, cfg.scale);
   const unsigned workers =
@@ -184,7 +184,7 @@ model::WorkloadMeasurement MiniAmr::run(ExecutionContext& ctx,
   tree.node_bytes = 64;
   access.components.push_back({tree, 0.2});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.030;  // calibrated: ~2.5x Table IV achieved rate;
                        // this kernel is memory-bound on BDW (high
                        // MBd in Table IV), so the memory term binds

@@ -13,7 +13,7 @@ class MiniAmr final : public KernelBase {
   MiniAmr();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 };
 

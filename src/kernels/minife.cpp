@@ -34,7 +34,7 @@ MiniFe::MiniFe()
           .paper_input = "128x128x128 unstructured 3-D grid",
       }) {}
 
-model::WorkloadMeasurement MiniFe::run(ExecutionContext& ctx,
+WorkloadMeasurement MiniFe::run(ExecutionContext& ctx,
                                        const RunConfig& cfg) const {
   const std::uint64_t ne = scaled_dim(kRunDim, cfg.scale);  // elements/dim
   const std::uint64_t nn = ne + 1;                          // nodes/dim
@@ -183,7 +183,7 @@ model::WorkloadMeasurement MiniFe::run(ExecutionContext& ctx,
                             .full_box = true};
   access.components.push_back({st, 0.3});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.080;  // calibrated: ~2.5x Table IV achieved rate;
                        // this kernel is memory-bound on BDW (high
                        // MBd in Table IV), so the memory term binds

@@ -67,7 +67,7 @@ MiniTri::MiniTri()
           .paper_input = "BCSSTK30 triangle detection + clique bound",
       }) {}
 
-model::WorkloadMeasurement MiniTri::run(ExecutionContext& ctx,
+WorkloadMeasurement MiniTri::run(ExecutionContext& ctx,
                                         const RunConfig& cfg) const {
   const std::uint64_t n = scaled_n(kRunVerts, cfg.scale);
   const Graph g = build_banded(n, kBand);
@@ -144,7 +144,7 @@ model::WorkloadMeasurement MiniTri::run(ExecutionContext& ctx,
   gp.sequential_fraction = 0.6;  // sorted adjacency scans
   access.components.push_back({gp, 1.0});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.05;  // calibrated: Table IV achieved rate
   traits.int_eff = 0.016;
   traits.phi_vec_penalty = 1.0;   // Table IV: BDW-vs-KNL efficiency ratio

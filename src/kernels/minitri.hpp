@@ -14,7 +14,7 @@ class MiniTri final : public KernelBase {
   MiniTri();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 };
 

@@ -35,7 +35,7 @@ Modylas::Modylas()
           .paper_input = "wat222: 156,240 atoms over 16^3 cells (FMM)",
       }) {}
 
-model::WorkloadMeasurement Modylas::run(ExecutionContext& ctx,
+WorkloadMeasurement Modylas::run(ExecutionContext& ctx,
                                         const RunConfig& cfg) const {
   const std::uint64_t nc = scaled_dim(kRunCellDim, cfg.scale);
   const std::uint64_t ncells = nc * nc * nc;
@@ -241,7 +241,7 @@ model::WorkloadMeasurement Modylas::run(ExecutionContext& ctx,
   gp.sequential_fraction = 0.6;
   access.components.push_back({gp, 1.0});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.225;  // calibrated: Table IV achieved rate
   traits.int_eff = 0.45;
   traits.phi_vec_penalty = 1.5;   // Table IV: BDW-vs-KNL efficiency ratio

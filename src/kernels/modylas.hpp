@@ -16,7 +16,7 @@ class Modylas final : public KernelBase {
   Modylas();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperAtoms = 156240;

@@ -53,7 +53,7 @@ MVmc::MVmc()
           .paper_input = "quantum lattice strong-scaling test, downsized",
       }) {}
 
-model::WorkloadMeasurement MVmc::run(ExecutionContext& ctx,
+WorkloadMeasurement MVmc::run(ExecutionContext& ctx,
                                      const RunConfig& cfg) const {
   const std::uint64_t n = scaled_n(kRunN, std::sqrt(cfg.scale));
   const unsigned workers =
@@ -196,7 +196,7 @@ model::WorkloadMeasurement MVmc::run(ExecutionContext& ctx,
   bp.tile_bytes = kPaperN * 8 * 16;
   bp.tile_reuse = 12.0;
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.123;  // calibrated: Table IV achieved rate
   traits.int_eff = 0.40;
   traits.phi_vec_penalty = 4.0;   // Table IV: BDW-vs-KNL efficiency ratio

@@ -57,7 +57,7 @@ Nekbone::Nekbone()
                          "fixed elements/process and order",
       }) {}
 
-model::WorkloadMeasurement Nekbone::run(ExecutionContext& ctx,
+WorkloadMeasurement Nekbone::run(ExecutionContext& ctx,
                                         const RunConfig& cfg) const {
   const std::uint64_t ne = scaled_n(kRunElems, cfg.scale);
   const std::uint64_t npts = ne * kP * kP * kP;
@@ -153,7 +153,7 @@ model::WorkloadMeasurement Nekbone::run(ExecutionContext& ctx,
   bp.tile_reuse = kP;
   access.components.push_back({bp, 1.0});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.160;  // calibrated: ~2.5x Table IV achieved rate;
                        // this kernel is memory-bound on BDW (high
                        // MBd in Table IV), so the memory term binds

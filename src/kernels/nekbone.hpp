@@ -14,7 +14,7 @@ class Nekbone final : public KernelBase {
   Nekbone();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr int kOrder = 10;  // polynomial order + 1 (nodes/dim)

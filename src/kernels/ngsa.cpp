@@ -43,7 +43,7 @@ Ngsa::Ngsa()
           .paper_input = "pre-generated pseudo-genome (ngsa-dummy)",
       }) {}
 
-model::WorkloadMeasurement Ngsa::run(ExecutionContext& ctx,
+WorkloadMeasurement Ngsa::run(ExecutionContext& ctx,
                                      const RunConfig& cfg) const {
   const std::uint64_t glen = scaled_n(kRunGenome, cfg.scale);
   const std::uint64_t nreads = scaled_n(kRunReads, cfg.scale);
@@ -174,7 +174,7 @@ model::WorkloadMeasurement Ngsa::run(ExecutionContext& ctx,
   gp.sequential_fraction = 0.35;
   access.components.push_back({gp, 1.0});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.05;  // calibrated: Table IV achieved rate
   traits.int_eff = 0.00046;
   traits.phi_vec_penalty = 1.0;   // Table IV: BDW-vs-KNL efficiency ratio

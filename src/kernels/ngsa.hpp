@@ -16,7 +16,7 @@ class Ngsa final : public KernelBase {
   Ngsa();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 };
 

@@ -30,7 +30,7 @@ Nicam::Nicam()
           .paper_input = "Jablonowski baroclinic wave, gl05rl00z40, 1 day",
       }) {}
 
-model::WorkloadMeasurement Nicam::run(ExecutionContext& ctx,
+WorkloadMeasurement Nicam::run(ExecutionContext& ctx,
                                       const RunConfig& cfg) const {
   const std::uint64_t cols_req = scaled_n(kRunCols, cfg.scale);
   const std::uint64_t lev = kRunLevels;
@@ -167,7 +167,7 @@ model::WorkloadMeasurement Nicam::run(ExecutionContext& ctx,
   gp.sequential_fraction = 0.7;
   access.components.push_back({gp, 0.2});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.030;  // calibrated: Table IV achieved rate
                           // shows the best SIMD/cyc in Table IV)
   traits.int_eff = 0.40;

@@ -15,7 +15,7 @@ class Nicam final : public KernelBase {
   Nicam();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperColumns = 10242;  // gl05

@@ -27,7 +27,7 @@ NtChem::NtChem()
           .paper_input = "MP2 solver, H2O test case",
       }) {}
 
-model::WorkloadMeasurement NtChem::run(ExecutionContext& ctx,
+WorkloadMeasurement NtChem::run(ExecutionContext& ctx,
                                        const RunConfig& cfg) const {
   const std::uint64_t nbf = scaled_n(kRunBasis, std::cbrt(cfg.scale));
   const std::uint64_t nocc = kOcc;
@@ -192,7 +192,7 @@ model::WorkloadMeasurement NtChem::run(ExecutionContext& ctx,
   bp.tile_bytes = 256u << 10;
   bp.tile_reuse = 64.0;  // GEMM-chain blocking over the basis dimension
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.22;  // calibrated: Table IV achieved rate
                           // FP64 rate of the RIKEN suite)
   traits.int_eff = 0.50;

@@ -15,7 +15,7 @@ class NtChem final : public KernelBase {
   NtChem();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperBasis = 212;  // H2O aug-cc-pVQZ-ish

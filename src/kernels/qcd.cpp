@@ -66,7 +66,7 @@ Qcd::Qcd()
           .paper_input = "Class 2: 32^3 x 32 lattice",
       }) {}
 
-model::WorkloadMeasurement Qcd::run(ExecutionContext& ctx,
+WorkloadMeasurement Qcd::run(ExecutionContext& ctx,
                                     const RunConfig& cfg) const {
   Lattice lat{std::max<std::uint64_t>(4, scaled_dim(kRunL, cfg.scale))};
   const std::uint64_t ns = lat.sites();
@@ -228,7 +228,7 @@ model::WorkloadMeasurement Qcd::run(ExecutionContext& ctx,
   ls.writes_per_iter = 0;
   access.components.push_back({ls, 0.5});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.20;  // calibrated: ~2.5x Table IV achieved rate;
                        // this kernel is memory-bound on BDW (high
                        // MBd in Table IV), so the memory term binds

@@ -14,7 +14,7 @@ class Qcd final : public KernelBase {
   Qcd();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr std::uint64_t kPaperL = 32;  // 32^3 x 32 lattice

@@ -34,7 +34,7 @@
 
 namespace fpr::kernels {
 
-model::WorkloadMeasurement ProxyKernel::run(const RunConfig& cfg) const {
+WorkloadMeasurement ProxyKernel::run(const RunConfig& cfg) const {
   ExecutionContext ctx(cfg.threads);
   return run(ctx, cfg);
 }

@@ -31,7 +31,7 @@ Sw4Lite::Sw4Lite()
           .paper_input = "pointsource: wave from a point in a half-space",
       }) {}
 
-model::WorkloadMeasurement Sw4Lite::run(ExecutionContext& ctx,
+WorkloadMeasurement Sw4Lite::run(ExecutionContext& ctx,
                                         const RunConfig& cfg) const {
   const std::uint64_t d = scaled_dim(kRunDim, cfg.scale);
   const std::uint64_t n = d * d * d;
@@ -129,7 +129,7 @@ model::WorkloadMeasurement Sw4Lite::run(ExecutionContext& ctx,
                             .full_box = false};
   access.components.push_back({st, 1.0});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.100;  // calibrated: Table IV achieved rate
   traits.int_eff = 0.60;
   traits.phi_vec_penalty = 2.1;   // Table IV: BDW-vs-KNL efficiency ratio

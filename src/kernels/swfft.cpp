@@ -74,7 +74,7 @@ SwFft::SwFft()
           .paper_input = "32 reps of 3-D FFT on a 128^3 grid",
       }) {}
 
-model::WorkloadMeasurement SwFft::run(ExecutionContext& ctx,
+WorkloadMeasurement SwFft::run(ExecutionContext& ctx,
                                       const RunConfig& cfg) const {
   std::uint64_t d = kRunDim;
   // Snap the scaled dimension to a power of two.
@@ -173,7 +173,7 @@ model::WorkloadMeasurement SwFft::run(ExecutionContext& ctx,
   st.writes_per_iter = 1;
   access.components.push_back({st, 0.5});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.035;  // calibrated: ~2.5x Table IV achieved rate;
                        // this kernel is memory-bound on BDW (high
                        // MBd in Table IV), so the memory term binds

@@ -2,6 +2,13 @@
 // counts, traffic, working set) plus its static traits (vectorization
 // efficiency, serial fraction, latency sensitivity). These are the inputs
 // the execution-time model combines with a CpuSpec.
+//
+// This lives in kernels/ (it moved from model/ when the layering gate
+// landed): a kernel *produces* a WorkloadMeasurement, the model layer
+// above *consumes* it, so the type belongs to the producer's layer —
+// otherwise every kernel would have to include model/ headers, an
+// upward edge the architecture DAG forbids. The fpr::model aliases at
+// the bottom keep the established spelling for the consumers.
 #pragma once
 
 #include <cstdint>
@@ -10,7 +17,7 @@
 #include "counters/op_tally.hpp"
 #include "memsim/trace_gen.hpp"
 
-namespace fpr::model {
+namespace fpr::kernels {
 
 /// Per-architecture-family adjustments to the measured operation counts.
 /// The paper observes a few proxies execute materially different op
@@ -99,4 +106,13 @@ struct WorkloadMeasurement {
   }
 };
 
+}  // namespace fpr::kernels
+
+namespace fpr::model {
+// The model layer consumes these types under its own name — the
+// established spelling throughout exec_model/roofline/memprofile and
+// the tests. Aliases, not copies: one definition, owned by kernels.
+using kernels::KernelTraits;
+using kernels::PhiOpAdjust;
+using kernels::WorkloadMeasurement;
 }  // namespace fpr::model

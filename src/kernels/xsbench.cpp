@@ -31,7 +31,7 @@ XsBench::XsBench()
           .paper_input = "large H-M reactor, 15e6 lookups/particle class",
       }) {}
 
-model::WorkloadMeasurement XsBench::run(ExecutionContext& ctx,
+WorkloadMeasurement XsBench::run(ExecutionContext& ctx,
                                         const RunConfig& cfg) const {
   const std::uint64_t lookups = scaled_n(kRunLookups, cfg.scale);
   const std::uint64_t grid = kRunGrid;
@@ -144,7 +144,7 @@ model::WorkloadMeasurement XsBench::run(ExecutionContext& ctx,
   gp.sequential_fraction = 0.05;
   access.components.push_back({gp, 1.0});
 
-  model::KernelTraits traits;
+  KernelTraits traits;
   traits.vec_eff = 0.050;  // calibrated: ~2.5x Table IV achieved rate;
                        // this kernel is memory-bound on BDW (high
                        // MBd in Table IV), so the memory term binds

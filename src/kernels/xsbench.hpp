@@ -14,7 +14,7 @@ class XsBench final : public KernelBase {
   XsBench();
 
   using ProxyKernel::run;
-  [[nodiscard]] model::WorkloadMeasurement run(
+  [[nodiscard]] WorkloadMeasurement run(
       ExecutionContext& ctx, const RunConfig& cfg) const override;
 
   static constexpr double kPaperLookups = 15e6;

@@ -263,6 +263,10 @@ HierarchyResult Hierarchy::replay_sharded(TraceSource& src,
       // the property that makes the in-region barrier deadlock-free.
       pool.parallel_for_n(
           walkers + 1, walkers + 1,
+          // n_back is written by role 0 only (roles partition [rb, re))
+          // and read after the join publishes it — single-writer, no
+          // concurrent reader, so the race the rule guards against
+          // cannot occur. fpr-lint: allow(shared-mutable-capture)
           [&](std::size_t rb, std::size_t re, unsigned) {
             for (std::size_t role = rb; role < re; ++role) {
               if (role == 0) {

@@ -1,7 +1,5 @@
 #include "memsim/trace_source.hpp"
 
-#include <algorithm>
-
 namespace fpr::memsim {
 
 HierarchyResult simulate_trace(const arch::CpuSpec& cpu, TraceSource& src,
@@ -12,31 +10,6 @@ HierarchyResult simulate_trace(const arch::CpuSpec& cpu, TraceSource& src,
     return h.replay_sharded(src, refs, warmup, *shards.pool, shards.jobs);
   }
   return h.replay(src, refs, warmup);
-}
-
-HierarchyResult replay_trace_cached(SimCache* cache, const arch::CpuSpec& cpu,
-                                    const std::string& path,
-                                    std::uint64_t refs, std::uint64_t warmup,
-                                    unsigned scale_shift,
-                                    const ShardPlan& shards) {
-  if (cache == nullptr) {
-    FileTraceSource src(path);
-    return simulate_trace(cpu, src, refs, warmup, scale_shift, shards);
-  }
-  // The digest identifies the record stream (not its chunking), so the
-  // key survives re-encodings of the same trace; resolving `refs`
-  // against the recorded count keeps "ask for more than the file has"
-  // and "ask for exactly what it has" on one cache entry.
-  const io::TraceInfo info = io::read_trace_info(path);
-  const std::uint64_t avail =
-      info.records > warmup ? info.records - warmup : 0;
-  const std::uint64_t resolved = std::min(refs, avail);
-  const std::string k =
-      SimCache::trace_key(cpu, info.digest, resolved, warmup, scale_shift);
-  if (auto found = cache->find(k)) return *found;
-  FileTraceSource src(path);
-  return *cache->insert(
-      k, simulate_trace(cpu, src, resolved, warmup, scale_shift, shards));
 }
 
 }  // namespace fpr::memsim

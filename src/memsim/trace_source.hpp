@@ -4,20 +4,18 @@
 // TraceGenerator mixtures or an on-disk fpr-trace file — is the source's
 // business. SyntheticTraceSource is a zero-cost wrapper over
 // TraceGenerator (same fill(), bit-identical sequences, so every golden
-// snapshot is unchanged); FileTraceSource streams the chunked decode of
-// a recorded trace, which is how `fpr trace` replays real workloads
-// through the same Hierarchy/SimCache/model pipeline.
+// snapshot is unchanged); the file-backed source lives one layer up in
+// io/trace_replay.hpp (io::FileTraceSource), because memsim defines the
+// abstraction and must not know about on-disk formats — the layering
+// gate (fpr-lint layer-violation) enforces that direction.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <string>
 
 #include "arch/cpu_spec.hpp"
-#include "io/trace_format.hpp"
 #include "memsim/hierarchy.hpp"
-#include "memsim/sim_cache.hpp"
 #include "memsim/trace_gen.hpp"
 
 namespace fpr::memsim {
@@ -53,24 +51,6 @@ class SyntheticTraceSource final : public TraceSource {
   TraceGenerator* gen_;
 };
 
-/// Streaming decode of an on-disk fpr-trace file (io::TraceReader).
-/// Finite: fill() returns short once the file's records are consumed.
-/// Construction and decoding throw io::TraceFormatError on missing,
-/// wrong-magic, or truncated files.
-class FileTraceSource final : public TraceSource {
- public:
-  explicit FileTraceSource(const std::string& path) : reader_(path) {}
-
-  std::size_t fill(MemRef* out, std::size_t n) override {
-    return reader_.read(out, n);
-  }
-
-  [[nodiscard]] const io::TraceInfo& info() const { return reader_.info(); }
-
- private:
-  io::TraceReader reader_;
-};
-
 /// Replay an arbitrary source through a scaled hierarchy for `cpu`:
 /// the trace-file counterpart of simulate_pattern. `warmup` references
 /// fill the caches uncounted, then up to `refs` are measured (fewer if
@@ -84,18 +64,5 @@ HierarchyResult simulate_trace(const arch::CpuSpec& cpu, TraceSource& src,
                                std::uint64_t refs, std::uint64_t warmup,
                                unsigned scale_shift = 0,
                                const ShardPlan& shards = {});
-
-/// simulate_trace over a trace file with memoization: the replay keys by
-/// (hierarchy geometry, trace content digest, refs, warmup, scale
-/// shift) — see SimCache::trace_key — so repeated scorings of one trace
-/// across machines/commands decode and simulate once per distinct
-/// geometry. Bit-identical with or without a cache; `shards` is a pure
-/// wall-time choice and deliberately not part of the key. Throws
-/// io::TraceFormatError on unreadable or malformed files.
-HierarchyResult replay_trace_cached(SimCache* cache, const arch::CpuSpec& cpu,
-                                    const std::string& path,
-                                    std::uint64_t refs, std::uint64_t warmup,
-                                    unsigned scale_shift = 0,
-                                    const ShardPlan& shards = {});
 
 }  // namespace fpr::memsim

@@ -10,7 +10,7 @@
 
 #include "arch/cpu_spec.hpp"
 #include "model/memprofile.hpp"
-#include "model/workload.hpp"
+#include "kernels/workload.hpp"
 
 namespace fpr::model {
 

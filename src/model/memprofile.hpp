@@ -8,7 +8,7 @@
 #include "memsim/bandwidth.hpp"
 #include "memsim/hierarchy.hpp"
 #include "memsim/sim_cache.hpp"
-#include "model/workload.hpp"
+#include "kernels/workload.hpp"
 
 namespace fpr::model {
 

@@ -7,7 +7,7 @@
 
 #include "arch/cpu_spec.hpp"
 #include "model/exec_model.hpp"
-#include "model/workload.hpp"
+#include "kernels/workload.hpp"
 
 namespace fpr::model {
 

@@ -1,0 +1,6 @@
+// fpr-lint fixture (1/3): first node of a deliberate three-header
+// include cycle a -> b -> c -> a. Never compiled — the include-cycle
+// CTest entry runs the built linter over the fixtures/cycle tree and
+// expects [include-cycle].
+#pragma once
+#include "common/cycle_b.hpp"

@@ -1,0 +1,4 @@
+// fpr-lint fixture (2/3): middle node of the deliberate include cycle
+// a -> b -> c -> a. See cycle_a.hpp.
+#pragma once
+#include "common/cycle_c.hpp"

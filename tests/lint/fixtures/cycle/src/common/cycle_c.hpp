@@ -1,0 +1,4 @@
+// fpr-lint fixture (3/3): closing node of the deliberate include cycle
+// a -> b -> c -> a. See cycle_a.hpp.
+#pragma once
+#include "common/cycle_a.hpp"

@@ -1,0 +1,12 @@
+// fpr-lint fixture: a suppression comment whose rule no longer fires on
+// the covered lines — dead weight that would silently swallow a future
+// regression. Lives beside clean_ok.cpp (the live-suppression pair).
+// Never compiled — the fpr_lint_fixture_* CTest entry scans it with the
+// built linter and expects [stale-suppression].
+namespace fpr {
+
+constexpr int kTidyConstant = 7;  // fpr-lint: allow(non-const-global)
+
+inline int tripled(int x) { return 3 * x; }
+
+}  // namespace fpr

@@ -1,0 +1,14 @@
+// fpr-lint fixture: a command handler returning raw integer exit codes
+// instead of the named kExit* constants from src/cli/cli.hpp. Never
+// compiled — the fpr_lint_fixture_* CTest entry scans it with the
+// built linter and expects [bare-exit-code].
+namespace fpr::cli {
+
+int cmd_fixture(bool ok) {
+  if (!ok) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace fpr::cli

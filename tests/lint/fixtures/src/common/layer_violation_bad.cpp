@@ -1,0 +1,14 @@
+// fpr-lint fixture: the bottom layer reaching up to the study layer —
+// an upward edge in the architecture DAG. Never compiled — the
+// fpr_lint_fixture_* CTest entry scans it with the built linter and
+// expects [layer-violation].
+#include "study/study.hpp"
+
+namespace fpr {
+
+void peek_at_study() {
+  study::StudyConfig cfg;
+  (void)cfg;
+}
+
+}  // namespace fpr

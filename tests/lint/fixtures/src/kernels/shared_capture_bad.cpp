@@ -1,0 +1,20 @@
+// fpr-lint fixture: a lambda handed to parallel_for_n captures a
+// mutable local by reference and writes it from worker threads — the
+// classic unsynchronised-accumulator race. Never compiled — the
+// fpr_lint_fixture_* CTest entry scans it with the built linter and
+// expects [shared-mutable-capture].
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+
+namespace fpr {
+
+double racy_sum(ThreadPool& pool, std::size_t n) {
+  double total = 0.0;
+  pool.parallel_for_n(4, n, [&](std::size_t b, std::size_t e, unsigned) {
+    total += static_cast<double>(e - b);
+  });
+  return total;
+}
+
+}  // namespace fpr

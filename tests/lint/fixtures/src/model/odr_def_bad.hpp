@@ -1,0 +1,12 @@
+// fpr-lint fixture: a header defining a function with external linkage
+// and no inline/template/constexpr marker — two includers would each
+// emit the symbol and violate the one-definition rule. Never compiled —
+// the fpr_lint_fixture_* CTest entry scans it with the built linter and
+// expects [odr-header-def].
+#pragma once
+
+namespace fpr::model {
+
+double fixture_scale(double x) { return 2.0 * x; }
+
+}  // namespace fpr::model

@@ -1,7 +1,7 @@
 // fpr-trace format and TraceSource replay tests: writer/reader
 // round-trips, malformed-input rejection, and the record->replay
 // property suite — a recorded synthetic trace replayed through
-// FileTraceSource must reproduce the synthetic replay's statistics
+// io::FileTraceSource must reproduce the synthetic replay's statistics
 // exactly, on every Table I machine, serial or sharded.
 #include <gtest/gtest.h>
 
@@ -15,6 +15,7 @@
 #include "arch/machines.hpp"
 #include "common/thread_pool.hpp"
 #include "io/trace_format.hpp"
+#include "io/trace_replay.hpp"
 #include "memsim/hierarchy.hpp"
 #include "memsim/sim_cache.hpp"
 #include "memsim/trace_gen.hpp"
@@ -35,7 +36,7 @@ void write_refs(const std::string& path, const std::vector<MemRef>& refs,
 }
 
 std::vector<MemRef> read_all(const std::string& path) {
-  FileTraceSource src(path);
+  io::FileTraceSource src(path);
   std::vector<MemRef> out;
   MemRef block[97];  // deliberately unaligned with any chunk size
   while (true) {
@@ -198,7 +199,7 @@ TEST(TraceFormat, HeaderTracksFootprint) {
 TEST(TraceFormat, RejectsMissingWrongMagicAndBadVersion) {
   EXPECT_THROW(io::read_trace_info(tmp_path("nonexistent.fpt")),
                io::TraceFormatError);
-  EXPECT_THROW(FileTraceSource(tmp_path("nonexistent.fpt")),
+  EXPECT_THROW(io::FileTraceSource(tmp_path("nonexistent.fpt")),
                io::TraceFormatError);
 
   const std::string path = tmp_path("corrupt.fpt");
@@ -346,7 +347,7 @@ TEST(RecordReplay, FileReplayMatchesSyntheticScalarEverywhere) {
       const auto want = hs.replay_scalar(gen, kRefs, kWarmup);
 
       Hierarchy hf(cpu, kShift);
-      FileTraceSource src(path);
+      io::FileTraceSource src(path);
       const auto got = hf.replay(src, kRefs, kWarmup);
       EXPECT_TRUE(identical(want, got))
           << name << " on " << cpu.short_name;
@@ -365,12 +366,12 @@ TEST(RecordReplay, ShardedFileReplayIdenticalForAllJobCounts) {
   record_spec(path, scaled, 0xfeed1234, 2 * kRefs);
 
   Hierarchy hserial(cpu, kShift);
-  FileTraceSource serial_src(path);
+  io::FileTraceSource serial_src(path);
   const auto want = hserial.replay(serial_src, kRefs, kRefs);
   for (const unsigned jobs : {1u, 2u, 8u}) {
     ThreadPool pool(jobs + 1);
     Hierarchy h(cpu, kShift);
-    FileTraceSource src(path);
+    io::FileTraceSource src(path);
     const auto got = h.replay_sharded(src, kRefs, kRefs, pool, jobs);
     EXPECT_TRUE(identical(want, got)) << "jobs=" << jobs;
   }
@@ -385,12 +386,12 @@ TEST(RecordReplay, FiniteSourceRunsDryAndReportsMeasuredRefs) {
   const auto cpu = arch::knl();
 
   Hierarchy h(cpu, 8);
-  FileTraceSource src(path);
+  io::FileTraceSource src(path);
   const auto res = h.replay(src, /*refs=*/5000, /*warmup=*/100);
   EXPECT_EQ(res.refs, 900u);  // 1000 on disk minus 100 warmup
 
   Hierarchy h2(cpu, 8);
-  FileTraceSource src2(path);
+  io::FileTraceSource src2(path);
   const auto drained = h2.replay(src2, 5000, /*warmup=*/1000);
   EXPECT_EQ(drained.refs, 0u);  // warmup consumed the whole file
   std::remove(path.c_str());
@@ -423,16 +424,16 @@ TEST(TraceCache, CachedFileReplayIsBitIdenticalAndMemoized) {
   record_spec(path, scaled, 0xfeed1234, 2 * kRefs);
 
   const auto plain =
-      replay_trace_cached(nullptr, cpu, path, kRefs, kRefs, kShift);
+      io::replay_trace_cached(nullptr, cpu, path, kRefs, kRefs, kShift);
   SimCache cache;
   const auto first =
-      replay_trace_cached(&cache, cpu, path, kRefs, kRefs, kShift);
+      io::replay_trace_cached(&cache, cpu, path, kRefs, kRefs, kShift);
   const auto second =
-      replay_trace_cached(&cache, cpu, path, kRefs, kRefs, kShift);
+      io::replay_trace_cached(&cache, cpu, path, kRefs, kRefs, kShift);
   // Asking for more refs than the file holds resolves to the available
   // count before keying, so the over-ask shares the cache entry.
   const auto overask =
-      replay_trace_cached(&cache, cpu, path, 1ull << 40, kRefs, kShift);
+      io::replay_trace_cached(&cache, cpu, path, 1ull << 40, kRefs, kShift);
   EXPECT_TRUE(identical(plain, first));
   EXPECT_TRUE(identical(plain, second));
   EXPECT_TRUE(identical(plain, overask));

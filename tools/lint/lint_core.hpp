@@ -9,13 +9,26 @@
 // catalogue and the rationale for each invariant live in
 // docs/INVARIANTS.md.
 //
-// The checker is token-level, not a full C++ parse: sources are lexed
-// just far enough to blank comments, string/char literals, and
-// preprocessor directives, then scanned with per-rule patterns and a
-// small brace-tracking declaration scanner (for the non-const-global
-// rule). That is deliberate — it keeps the tool dependency-free and
-// fast enough to run as a CTest gate on every build — and the escape
-// hatch for the rare heuristic miss is the suppression comment above.
+// v2 grew the per-file token scanner into a project semantic model:
+// beside the original pattern rules, the linter now parses the
+// project's #include directives into a dependency graph and gates the
+// architecture DAG (layer-violation, include-cycle, `--graph dot`
+// export — see docs/ARCHITECTURE.md), indexes namespace-scope
+// declarations for ODR/header hygiene (odr-header-def, per-header and
+// across translation units), tracks lambda captures flowing into
+// parallel regions (shared-mutable-capture), names exit codes
+// (bare-exit-code), and reports suppressions that no longer suppress
+// anything (stale-suppression).
+//
+// The checker is still token-level, not a full C++ parse: sources are
+// lexed just far enough to blank comments, string/char literals, and
+// preprocessor directives (includes and pragmas are recorded on the
+// way), then scanned with per-rule patterns, a brace-tracking
+// declaration scanner, and a lambda-capture scanner. That is
+// deliberate — it keeps the tool dependency-free and fast enough to
+// run as a CTest gate on every build — and the escape hatch for the
+// rare heuristic miss is the suppression comment above (which
+// stale-suppression keeps from outliving its excuse).
 #pragma once
 
 #include <string>
@@ -32,6 +45,12 @@ struct Finding {
   std::string message;  ///< human-readable explanation
 };
 
+/// An in-memory source handed to the project-level entry point.
+struct SourceFile {
+  std::string path;  ///< decides rule scoping (repo-relative tail)
+  std::string text;
+};
+
 /// Names of every implemented rule, in stable (documentation) order.
 [[nodiscard]] std::vector<std::string> rule_names();
 
@@ -39,12 +58,24 @@ struct Finding {
 /// unknown name.
 [[nodiscard]] std::string rule_description(const std::string& rule);
 
+/// Lint a set of sources as one project: every per-file pass plus the
+/// project-wide passes (include-cycle over the include graph, the
+/// cross-TU duplicate-definition side of odr-header-def, and
+/// stale-suppression accounting). `enabled` restricts *reporting* to a
+/// subset of rule names (empty = all rules); every rule is still
+/// evaluated internally so suppression liveness is judged against the
+/// full catalogue. Findings come back sorted by (file, line, rule).
+[[nodiscard]] std::vector<Finding> lint_sources(
+    const std::vector<SourceFile>& files,
+    const std::vector<std::string>& enabled = {});
+
 /// Lint a single in-memory source. `path` decides which rules apply
 /// (rules are scoped by directory, e.g. nondeterministic-call only
-/// fires under src/{memsim,model,study,arch}); it is matched on its
+/// fires under src/{memsim,model,study,arch,io}); it is matched on its
 /// repo-relative tail, so absolute paths work as long as they contain
-/// a "src/" component. `enabled` restricts checking to a subset of
-/// rule names (empty = all rules).
+/// a "src/" (or "tools/", "bench/") component. Equivalent to
+/// lint_sources with one file: project passes that need more than one
+/// file simply find nothing.
 [[nodiscard]] std::vector<Finding> lint_source(
     const std::string& path, std::string_view text,
     const std::vector<std::string>& enabled = {});
@@ -54,10 +85,51 @@ struct Finding {
 [[nodiscard]] std::vector<Finding> lint_file(
     const std::string& path, const std::vector<std::string>& enabled = {});
 
-/// Recursively collect the .hpp/.cpp files under `root` (sorted, for
-/// deterministic output) and lint each. Throws std::runtime_error if
-/// `root` is neither a file nor a directory.
+/// Recursively collect the .hpp/.cpp/.h/.cc files under `root` (sorted,
+/// for deterministic output). Throws std::runtime_error if `root` is
+/// neither a file nor a directory.
+[[nodiscard]] std::vector<std::string> collect_tree(const std::string& root);
+
+/// collect_tree + read + lint_sources over one root: the project-level
+/// passes see every file under `root` together.
 [[nodiscard]] std::vector<Finding> lint_tree(
     const std::string& root, const std::vector<std::string>& enabled = {});
+
+// ---------------------------------------------------------------------------
+// Include graph (the layering gate's data model, exported for docs)
+// ---------------------------------------------------------------------------
+
+/// The project header-dependency graph: nodes are repo-relative paths
+/// ("src/common/rng.hpp"), edges point from includer to included file.
+/// Only quoted project includes that resolve to a scanned file become
+/// edges; system includes are ignored.
+struct IncludeGraph {
+  struct Edge {
+    int from = 0;  ///< index into nodes (the includer)
+    int to = 0;    ///< index into nodes (the included file)
+    int line = 0;  ///< line of the #include directive
+  };
+  std::vector<std::string> nodes;  ///< sorted repo-relative paths
+  std::vector<Edge> edges;         ///< sorted by (from, to)
+};
+
+[[nodiscard]] IncludeGraph build_include_graph(
+    const std::vector<SourceFile>& files);
+
+/// Directory-condensed DOT export of the include graph (one node per
+/// source directory, edge labels carry file-level include counts),
+/// laid out bottom-up along the architecture DAG. Deterministic: this
+/// is what docs/ARCHITECTURE.md commits and CI diffs against a fresh
+/// `fpr-lint --graph dot src/` run.
+[[nodiscard]] std::string include_graph_dot(const IncludeGraph& graph);
+
+/// Architecture layer rank of a repo-relative path or of a bare
+/// directory name: common=0, counters=1, arch=2, memsim=3, kernels=4,
+/// model=5, study=6, io=7, cli=8. Returns -1 for unlayered paths
+/// (tools/, bench/, tests/ are sinks and may include anything).
+[[nodiscard]] int layer_rank(const std::string& rel_or_dir);
+
+/// The layer directory names in rank order (see layer_rank).
+[[nodiscard]] const std::vector<std::string>& layer_names();
 
 }  // namespace fpr::lint

@@ -34,7 +34,12 @@
 
 namespace {
 
-constexpr int kExitBadInput = 3;  // matches `fpr diff` / `fpr trace`
+// Exit codes match the fpr CLI's (src/cli/cli.hpp kExit*): 0 ok,
+// 1 runtime error, 2 usage error, 3 unreadable or malformed input.
+constexpr int kExitOk = 0;
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadInput = 3;
 
 int usage(std::ostream& err) {
   err << "usage: fpr-trace <command> [options]\n"
@@ -61,7 +66,7 @@ int usage(std::ostream& err) {
          "\n"
          "exit codes: 0 ok; 2 usage error; 3 unreadable or malformed "
          "input\n";
-  return 2;
+  return kExitUsage;
 }
 
 std::uint64_t parse_u64(const std::string& arg, const std::string& text) {
@@ -153,7 +158,7 @@ int cmd_record(const Args& a) {
             << "[fpr-trace] replay with: fpr trace " << a.out
             << " --machine " << cpu->short_name << " --warmup " << warmup
             << " --scale-shift " << a.scale_shift << "\n";
-  return 0;
+  return kExitOk;
 }
 
 int cmd_convert(const Args& a) {
@@ -172,7 +177,7 @@ int cmd_convert(const Args& a) {
   std::cerr << "[fpr-trace] wrote '" << out << "': " << n
             << " record(s), digest " << std::hex << writer.digest()
             << std::dec << "\n";
-  return 0;
+  return kExitOk;
 }
 
 int cmd_dump(const Args& a) {
@@ -184,7 +189,7 @@ int cmd_dump(const Args& a) {
     std::cerr << "[fpr-trace] ... " << (reader.info().records - a.limit)
               << " more record(s)\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_info(const Args& a) {
@@ -200,7 +205,7 @@ int cmd_info(const Args& a) {
             << info.max_addr << std::dec << "]\n"
             << "touched_lines:  " << info.touched_lines << "\n"
             << "working_set:    " << info.working_set_bytes() << " bytes\n";
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -211,7 +216,7 @@ int main(int argc, char** argv) {
   a.command = argv[1];
   if (a.command == "--help" || a.command == "-h" || a.command == "help") {
     usage(std::cout);
-    return 0;
+    return kExitOk;
   }
   try {
     for (int i = 2; i < argc; ++i) {
@@ -296,6 +301,6 @@ int main(int argc, char** argv) {
     return kExitBadInput;
   } catch (const std::exception& e) {
     std::cerr << "fpr-trace: error: " << e.what() << "\n";
-    return 1;
+    return kExitFailure;
   }
 }
